@@ -1,0 +1,266 @@
+(* wn — command-line front end for the What's Next reproduction.
+
+   Subcommands:
+     wn list                      benchmarks and experiments
+     wn run BENCH ...             execute one benchmark task
+     wn curve BENCH ...           runtime-quality curve as CSV
+     wn figure ID ...             regenerate a table/figure of the paper
+     wn disasm BENCH ...          show the compiled WN-32 program
+     wn source BENCH ...          show the generated WNC source *)
+
+open Cmdliner
+open Wn_workloads
+
+(* ---------------- shared arguments ---------------- *)
+
+let scale_arg =
+  let doc = "Use the paper's full workload dimensions (slower)." in
+  Term.app
+    (Term.const (fun paper -> if paper then Workload.Paper else Workload.Small))
+    Arg.(value & flag & info [ "paper-scale" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Input generator seed.")
+
+let bits_arg =
+  Arg.(value & opt int 8 & info [ "bits" ] ~docv:"BITS" ~doc:"Subword size (1-16).")
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCH"
+        ~doc:"Benchmark name (Conv2d, MatMul, MatAdd, Home, Var, NetMotion).")
+
+let find_bench scale name =
+  match Suite.find scale name with
+  | w -> Ok w
+  | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown benchmark %S (try `wn list')" name))
+
+(* ---------------- wn list ---------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Benchmarks (Table I):";
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "  %-10s %-22s %s\n" w.Workload.name w.Workload.area
+          w.Workload.description)
+      (Suite.all Workload.Small);
+    print_endline "Extensions (beyond Table I):";
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "  %-10s %-22s %s\n" w.Workload.name w.Workload.area
+          w.Workload.description)
+      (Suite.extensions Workload.Small);
+    print_endline "\nExperiments (tables/figures of the paper):";
+    Printf.printf "  %s\n" (String.concat " " (List.map fst Wn_core.Figures.all))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments")
+    Term.(const run $ const ())
+
+(* ---------------- wn run ---------------- *)
+
+let system_arg =
+  let sys_conv =
+    Arg.enum [ ("none", `None); ("clank", `Clank); ("nvp", `Nvp) ]
+  in
+  Arg.(
+    value & opt sys_conv `None
+    & info [ "system" ] ~docv:"SYS"
+        ~doc:
+          "Intermittency model: $(b,none) (continuous power), $(b,clank) \
+           (checkpointing volatile processor) or $(b,nvp) (non-volatile \
+           processor).")
+
+let precise_arg =
+  Arg.(value & flag & info [ "precise" ] ~doc:"Build the precise baseline (no WN).")
+
+let run_bench bench_name scale bits precise system seed =
+  match find_bench scale bench_name with
+  | Error e -> Error e
+  | Ok w ->
+      let cfg = { Workload.bits; provisioned = true } in
+      let b = Wn_core.Runner.build ~precise w cfg in
+      let rng = Wn_util.Rng.create seed in
+      let inputs = w.Workload.fresh_inputs rng in
+      let machine = Wn_core.Runner.machine b in
+      Wn_core.Runner.load_sample b machine inputs;
+      let policy, supply =
+        match system with
+        | `None -> (Wn_runtime.Executor.Always_on, Wn_power.Supply.always_on ())
+        | `Clank ->
+            ( Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank,
+              Wn_power.Supply.create
+                ~trace:(Wn_power.Trace.rf_burst ~seed:(seed + 1) ~duration_s:60.0 ())
+                ~capacitor:(Wn_power.Capacitor.create ()) () )
+        | `Nvp ->
+            ( Wn_runtime.Executor.Nvp Wn_runtime.Executor.default_nvp,
+              Wn_power.Supply.create
+                ~trace:(Wn_power.Trace.rf_burst ~seed:(seed + 1) ~duration_s:60.0 ())
+                ~capacitor:(Wn_power.Capacitor.create ()) () )
+      in
+      let o = Wn_runtime.Executor.run ~policy ~machine ~supply () in
+      let out = Wn_core.Runner.output b machine in
+      let golden = w.Workload.golden inputs in
+      Printf.printf "%s (%s, %d-bit)\n" w.Workload.name
+        (if precise then "precise" else "anytime")
+        bits;
+      Printf.printf "  completed        %b%s\n" o.Wn_runtime.Executor.completed
+        (if o.Wn_runtime.Executor.skimmed then " (via skim point)" else "");
+      Printf.printf "  active cycles    %d (%.2f ms at 24 MHz)\n"
+        o.Wn_runtime.Executor.active_cycles
+        (float_of_int o.Wn_runtime.Executor.active_cycles /. 24e3);
+      Printf.printf "  wall cycles      %d\n" o.Wn_runtime.Executor.wall_cycles;
+      Printf.printf "  outages          %d\n" o.Wn_runtime.Executor.outage_count;
+      Printf.printf "  checkpoints      %d (re-executed %d instructions)\n"
+        o.Wn_runtime.Executor.checkpoint_count
+        o.Wn_runtime.Executor.reexecuted_instructions;
+      Printf.printf "  retired          %d instructions\n"
+        o.Wn_runtime.Executor.retired;
+      Printf.printf "  output NRMSE     %.4f%% vs the golden model\n"
+        (Wn_core.Runner.nrmse_pct ~reference:golden out);
+      Ok ()
+
+let run_cmd =
+  let term =
+    Term.(
+      term_result
+        (const run_bench $ bench_arg $ scale_arg $ bits_arg $ precise_arg
+       $ system_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute one benchmark task and report its outcome")
+    term
+
+(* ---------------- wn curve ---------------- *)
+
+let curve_cmd =
+  let points_arg =
+    Arg.(value & opt int 48 & info [ "points" ] ~doc:"Snapshot density.")
+  in
+  let vector_arg =
+    Arg.(value & flag & info [ "vector-loads" ] ~doc:"Vectorize SWP loads (fig 12).")
+  in
+  let unprov_arg =
+    Arg.(value & flag & info [ "unprovisioned" ] ~doc:"Unprovisioned SWV (fig 14).")
+  in
+  let run bench scale bits seed points vector_loads unprov =
+    match find_bench scale bench with
+    | Error e -> Error e
+    | Ok w ->
+        let c =
+          Wn_core.Curves.runtime_quality ~points ~vector_loads
+            ~provisioned:(not unprov) ~seed ~bits w
+        in
+        Format.printf "%a@?" Wn_core.Curves.pp c;
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "curve" ~doc:"Emit a runtime-quality trade-off curve as CSV")
+    Term.(
+      term_result
+        (const run $ bench_arg $ scale_arg $ bits_arg $ seed_arg $ points_arg
+       $ vector_arg $ unprov_arg))
+
+(* ---------------- wn figure ---------------- *)
+
+let figure_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id, e.g. fig9, table1, area_power.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Write figure images (PGM) to $(docv).")
+  in
+  let paper_setup_arg =
+    Arg.(
+      value & flag
+      & info [ "paper-setup" ]
+          ~doc:"Use the paper's 9 traces x 3 invocations for figures 10/11.")
+  in
+  let run id scale seed out paper_setup =
+    let opts =
+      {
+        Wn_core.Figures.scale;
+        seed;
+        setup =
+          (if paper_setup then Wn_core.Intermittent.paper_setup
+           else Wn_core.Intermittent.default_setup);
+        out_dir = out;
+      }
+    in
+    match Wn_core.Figures.run Format.std_formatter opts id with
+    | Ok () ->
+        Format.pp_print_flush Format.std_formatter ();
+        Ok ()
+    | Error e -> Error (`Msg e)
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a table or figure of the paper")
+    Term.(
+      term_result
+        (const run $ id_arg $ scale_arg $ seed_arg $ out_arg $ paper_setup_arg))
+
+(* ---------------- wn disasm / wn source ---------------- *)
+
+let build_compiled bench scale bits precise =
+  match find_bench scale bench with
+  | Error e -> Error e
+  | Ok w ->
+      let cfg = { Workload.bits; provisioned = true } in
+      let options =
+        if precise then Wn_compiler.Compile.precise
+        else Wn_compiler.Compile.anytime
+      in
+      Ok (w, Wn_compiler.Compile.compile_source ~options (w.Workload.source cfg))
+
+let disasm_cmd =
+  let run bench scale bits precise =
+    match build_compiled bench scale bits precise with
+    | Error e -> Error e
+    | Ok (w, compiled) ->
+        Printf.printf "; %s (%s, %d-bit): %d instructions, %d bytes of code, \
+                       %d bytes of data\n"
+          w.Workload.name
+          (if precise then "precise" else "anytime")
+          bits
+          (Array.length compiled.Wn_compiler.Compile.program)
+          (Wn_compiler.Compile.code_size_bytes compiled)
+          compiled.Wn_compiler.Compile.data_bytes;
+        Format.printf "%a@?" Wn_compiler.Compile.pp_listing compiled;
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Show a benchmark's compiled WN-32 assembly")
+    Term.(
+      term_result
+        (const run $ bench_arg $ scale_arg $ bits_arg $ precise_arg))
+
+let source_cmd =
+  let run bench scale bits =
+    match find_bench scale bench with
+    | Error e -> Error e
+    | Ok w ->
+        print_string (w.Workload.source { Workload.bits; provisioned = true });
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "source" ~doc:"Show a benchmark's WNC source")
+    Term.(term_result (const run $ bench_arg $ scale_arg $ bits_arg))
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "The What's Next intermittent computing architecture (HPCA 2019)" in
+  let info = Cmd.info "wn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; curve_cmd; figure_cmd; disasm_cmd; source_cmd ]))

@@ -1,0 +1,1 @@
+examples/glucose_monitor.ml: List Printf String Wn_core Wn_workloads

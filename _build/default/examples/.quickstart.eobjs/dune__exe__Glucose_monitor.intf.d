@@ -1,0 +1,1 @@
+examples/glucose_monitor.mli:

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Conv2d Filename Image List Printf Suite Sys Wn_core Wn_power Wn_runtime Wn_util Wn_workloads Workload

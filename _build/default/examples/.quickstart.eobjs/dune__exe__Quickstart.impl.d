@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Compile Layout List Printf Wn_compiler Wn_machine Wn_mem Wn_power Wn_runtime Wn_util

@@ -1,0 +1,1 @@
+examples/wildlife_tracker.ml: Array Printf Suite Wn_core Wn_power Wn_runtime Wn_util Wn_workloads Workload

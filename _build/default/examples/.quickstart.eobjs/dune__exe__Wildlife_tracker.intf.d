@@ -1,0 +1,1 @@
+examples/wildlife_tracker.mli:

@@ -1,0 +1,57 @@
+(* Glucose monitor: the paper's motivating case study (Section II,
+   Figure 3).
+
+   A wearable energy-harvesting monitor must process a blood-glucose
+   reading every 15 minutes.  The precise pipeline cannot keep up with
+   the harvested energy budget, so a conventional design *samples* —
+   drops readings — and risks missing hypoglycemic events.  Anytime
+   processing instead produces a 4-bit approximate value for every
+   reading.
+
+   The per-reading energy budget is grounded in the simulator: the cost
+   ratio between the precise kernel and the anytime kernel's earliest
+   output is measured on the Var reduction (the shape of a monitor's
+   feature extraction).
+
+   Run with:  dune exec examples/glucose_monitor.exe *)
+
+let bar width value max_value =
+  let n = int_of_float (value /. max_value *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'
+
+let () =
+  let study = Wn_core.Sampling.glucose_study Wn_workloads.Workload.Small in
+  Printf.printf
+    "measured cost: precise processing takes %.2fx the anytime first pass,\n\
+     so under the harvested budget the sampling design keeps only every\n\
+     other reading, while anytime processing covers them all.\n\n"
+    study.Wn_core.Sampling.cost_ratio;
+  Printf.printf "%-7s %9s %9s %9s  reading (mg/dL)\n" "time" "clinical"
+    "sampled" "anytime";
+  List.iter
+    (fun (r : Wn_core.Sampling.glucose_row) ->
+      let critical =
+        r.Wn_core.Sampling.clinical < Wn_workloads.Glucose.critical_threshold
+      in
+      Printf.printf "%-7s %9.1f %9s %9.1f  |%-40s|%s\n"
+        r.Wn_core.Sampling.clock r.Wn_core.Sampling.clinical
+        (match r.Wn_core.Sampling.sampled with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "-")
+        r.Wn_core.Sampling.anytime
+        (bar 40 r.Wn_core.Sampling.anytime 260.0)
+        (if critical then "  !! HYPOGLYCEMIC" else ""))
+    study.Wn_core.Sampling.readings;
+  Printf.printf
+    "\ncritical events: %d | caught by sampling: %d | caught by anytime: %d\n"
+    study.Wn_core.Sampling.total_dips study.Wn_core.Sampling.sampled_detected
+    study.Wn_core.Sampling.anytime_detected;
+  Printf.printf
+    "anytime mean reading error: %.2f%% (ISO 15197 allows 20%%; the paper \
+     reports 7.5%%)\n"
+    study.Wn_core.Sampling.anytime_mean_err_pct;
+  if
+    study.Wn_core.Sampling.anytime_detected > study.Wn_core.Sampling.sampled_detected
+  then
+    print_endline
+      "=> anytime processing catches events the sampling design sleeps through."

@@ -1,0 +1,1 @@
+lib/area/area_model.ml: Format

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Asm Ast Cond Instr List Option Printf Reg Wn_isa Wn_lang

@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Wn_isa Wn_lang

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Asm Ast Codegen Encoding Instr Layout Lexer List Parser Printf Sema Transform Wn_isa Wn_lang

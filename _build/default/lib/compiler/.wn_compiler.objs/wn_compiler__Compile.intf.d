@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Asm Format Instr Layout Wn_isa Wn_lang

@@ -1,0 +1,1 @@
+lib/compiler/layout.ml: Array Bytes Char Format Int32 Subword Wn_lang Wn_util

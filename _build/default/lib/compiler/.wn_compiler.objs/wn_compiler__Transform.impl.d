@@ -1,0 +1,1 @@
+lib/compiler/transform.ml: Ast Format Layout List Option Printf Sema Set String Vector_loads Wn_lang Wn_util

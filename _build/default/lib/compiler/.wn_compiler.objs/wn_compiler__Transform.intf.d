@@ -1,0 +1,1 @@
+lib/compiler/transform.mli: Layout Wn_lang

@@ -1,0 +1,1 @@
+lib/compiler/vector_loads.ml: Ast List Wn_lang

@@ -1,0 +1,1 @@
+lib/compiler/vector_loads.mli: Wn_lang

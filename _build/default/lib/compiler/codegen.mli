@@ -1,0 +1,29 @@
+(** WN-32 code generation from the (transformed) WNC AST.
+
+    A deliberately simple compiler back end in the spirit of the
+    2-stage M0+ target:
+    - scalar locals and loop variables live in registers [r5]–[r11]
+      (running out is a compile error — the paper's kernels are small);
+    - expressions evaluate into the scratch registers [r0]–[r4] with a
+      Sethi–Ullman-style recursive scheme;
+    - [r12] is the address-materialisation temporary;
+    - multiplications by power-of-two constants become shifts (the
+      strength reduction the paper's [-O2] baseline would perform —
+      without it, index arithmetic would swamp the data multiplies WN
+      accelerates);
+    - [Skim_here] lowers to [SKM __wn_end]; the generated program ends
+      with the [__wn_end] label followed by [HALT], so a skim jump
+      commits the task's current NVM state as-is. *)
+
+exception Error of string
+
+type input = {
+  cg_body : Wn_lang.Ast.stmt list;
+  cg_globals : (string * Wn_lang.Ast.global) list;  (** storage-level *)
+  cg_addresses : (string * int) list;  (** byte address of each global *)
+}
+
+val generate : input -> Wn_isa.Asm.program
+(** Raises {!Error} on register exhaustion, unsupported expression
+    shapes (comparisons outside conditions, standalone internal forms)
+    or references to unknown symbols. *)

@@ -1,0 +1,110 @@
+open Wn_isa
+open Wn_lang
+
+type mode = Precise | Anytime
+
+type options = { mode : mode; vector_loads : bool }
+
+let precise = { mode = Precise; vector_loads = false }
+let anytime = { mode = Anytime; vector_loads = false }
+let anytime_vector_loads = { mode = Anytime; vector_loads = true }
+
+type symbol = {
+  sym_global : Ast.global;
+  sym_addr : int;
+  sym_layout : Layout.t;
+}
+
+type t = {
+  source : Ast.program;
+  info : Sema.info;
+  options : options;
+  asm : Asm.program;
+  program : int Instr.t array;
+  machine_code : int32 array;
+  symbols : (string * symbol) list;
+  data_bytes : int;
+}
+
+exception Error of string
+
+let err stage msg = raise (Error (Printf.sprintf "%s: %s" stage msg))
+
+let storage_bytes (g : Ast.global) = g.g_count * Ast.ty_bytes g.g_ty
+
+let align4 n = (n + 3) land lnot 3
+
+let compile ?(options = anytime) (source : Ast.program) =
+  let info =
+    try Sema.analyze source with Sema.Error e -> err "sema" e
+  in
+  let mode = match options.mode with Precise -> `Precise | Anytime -> `Anytime in
+  let tr =
+    try Transform.apply ~mode ~vector_loads:options.vector_loads info source
+    with Transform.Error e -> err "transform" e
+  in
+  (* Assign data addresses to the storage-level globals. *)
+  let addresses, data_bytes =
+    List.fold_left
+      (fun (acc, next) (g : Ast.global) ->
+        ((g.g_name, next) :: acc, align4 (next + storage_bytes g)))
+      ([], 0) tr.storage_globals
+  in
+  let addresses = List.rev addresses in
+  let asm =
+    try
+      Codegen.generate
+        {
+          cg_body = tr.body;
+          cg_globals = List.map (fun (g : Ast.global) -> (g.g_name, g)) tr.storage_globals;
+          cg_addresses = addresses;
+        }
+    with Codegen.Error e -> err "codegen" e
+  in
+  let program =
+    match Asm.assemble asm with Ok p -> p | Error e -> err "assemble" e
+  in
+  let machine_code =
+    try Encoding.encode_program program
+    with Invalid_argument e -> err "encode" e
+  in
+  (* Round-trip self-check: the binary must decode to the program we
+     are about to execute. *)
+  (match Encoding.decode_program machine_code with
+  | Ok decoded when decoded = program -> ()
+  | Ok _ -> err "encode" "round-trip mismatch"
+  | Error e -> err "decode" e);
+  let symbols =
+    List.map
+      (fun (g : Ast.global) ->
+        let addr =
+          match List.assoc_opt g.g_name addresses with
+          | Some a -> a
+          | None -> err "layout" ("no address for " ^ g.g_name)
+        in
+        let layout =
+          match List.assoc_opt g.g_name tr.layouts with
+          | Some l -> l
+          | None -> Layout.row_major g.g_ty
+        in
+        (g.g_name, { sym_global = g; sym_addr = addr; sym_layout = layout }))
+      source.globals
+  in
+  { source; info; options; asm; program; machine_code; symbols; data_bytes }
+
+let compile_source ?options src =
+  let program =
+    try Parser.parse src with
+    | Parser.Error e -> err "parse" e
+    | Lexer.Error e -> err "lex" e
+  in
+  compile ?options program
+
+let symbol t name =
+  match List.assoc_opt name t.symbols with
+  | Some s -> s
+  | None -> err "symbol" ("unknown symbol " ^ name)
+
+let code_size_bytes t = Encoding.code_size_bytes t.program
+
+let pp_listing ppf t = Asm.pp_listing ppf t.asm

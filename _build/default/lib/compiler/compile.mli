@@ -1,0 +1,51 @@
+(** Compilation driver: WNC source → WN-32 machine program.
+
+    Pipeline: parse → semantic analysis → WN transformation (SWP / SWV /
+    skim insertion per pragmas, or none for the precise baseline) →
+    address assignment → code generation → assembly → binary encoding
+    (the encoder/decoder round-trip doubles as a self-check). *)
+
+open Wn_isa
+
+type mode = Precise | Anytime
+
+type options = {
+  mode : mode;
+  vector_loads : bool;  (** Figure 12: vectorize SWP's subword loads *)
+}
+
+val precise : options
+val anytime : options
+val anytime_vector_loads : options
+
+type symbol = {
+  sym_global : Wn_lang.Ast.global;  (** source-level type and count *)
+  sym_addr : int;
+  sym_layout : Layout.t;
+}
+
+type t = {
+  source : Wn_lang.Ast.program;
+  info : Wn_lang.Sema.info;
+  options : options;
+  asm : Asm.program;
+  program : int Instr.t array;
+  machine_code : int32 array;
+  symbols : (string * symbol) list;  (** source-level globals only *)
+  data_bytes : int;  (** size of the data segment *)
+}
+
+exception Error of string
+(** Any front-end, transform or back-end failure, wrapped with its
+    stage. *)
+
+val compile : ?options:options -> Wn_lang.Ast.program -> t
+
+val compile_source : ?options:options -> string -> t
+
+val symbol : t -> string -> symbol
+(** Raises {!Error} for unknown names. *)
+
+val code_size_bytes : t -> int
+
+val pp_listing : Format.formatter -> t -> unit

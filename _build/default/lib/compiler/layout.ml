@@ -1,0 +1,130 @@
+open Wn_util
+
+type t =
+  | Row_major of { elem_bits : int; signed : bool }
+  | Subword_major of {
+      elem_bits : int;
+      signed : bool;
+      bits : int;
+      lane_bits : int;
+      count : int;
+      biased : bool;
+    }
+
+let row_major ty =
+  Row_major { elem_bits = Wn_lang.Ast.ty_bits ty; signed = Wn_lang.Ast.ty_signed ty }
+
+let subword_major ?(biased = false) ~elem_bits ~signed ~bits ~lane_bits ~count
+    () =
+  if bits <= 0 || elem_bits mod bits <> 0 then
+    invalid_arg "Layout.subword_major: bits must divide elem_bits";
+  if lane_bits < bits || 32 mod lane_bits <> 0 then
+    invalid_arg "Layout.subword_major: bad lane width";
+  Subword_major { elem_bits; signed; bits; lane_bits; count; biased }
+
+let planes = function
+  | Row_major _ -> 1
+  | Subword_major { elem_bits; bits; _ } -> elem_bits / bits
+
+let lanes_per_word = function
+  | Row_major _ -> 1
+  | Subword_major { lane_bits; _ } -> 32 / lane_bits
+
+let words_per_plane t ~count =
+  match t with
+  | Row_major _ -> invalid_arg "Layout.words_per_plane: row-major"
+  | Subword_major _ ->
+      let lpw = lanes_per_word t in
+      (count + lpw - 1) / lpw
+
+let elem_bits = function
+  | Row_major { elem_bits; _ } | Subword_major { elem_bits; _ } -> elem_bits
+
+let is_signed = function
+  | Row_major { signed; _ } | Subword_major { signed; _ } -> signed
+
+let storage_bytes t ~count =
+  match t with
+  | Row_major { elem_bits; _ } -> count * (elem_bits / 8)
+  | Subword_major _ -> 4 * planes t * words_per_plane t ~count
+
+let write_elem buf ~elem_bits addr v =
+  match elem_bits with
+  | 8 -> Bytes.set buf addr (Char.chr (v land 0xFF))
+  | 16 -> Bytes.set_uint16_le buf addr (v land 0xFFFF)
+  | 32 -> Bytes.set_int32_le buf addr (Int32.of_int v)
+  | _ -> invalid_arg "Layout: element width"
+
+let read_elem buf ~elem_bits addr =
+  match elem_bits with
+  | 8 -> Char.code (Bytes.get buf addr)
+  | 16 -> Bytes.get_uint16_le buf addr
+  | 32 -> Int32.to_int (Bytes.get_int32_le buf addr) land 0xFFFF_FFFF
+  | _ -> invalid_arg "Layout: element width"
+
+let encode t values =
+  match t with
+  | Row_major { elem_bits; _ } ->
+      let buf = Bytes.make (Array.length values * (elem_bits / 8)) '\000' in
+      Array.iteri
+        (fun i v ->
+          write_elem buf ~elem_bits (i * (elem_bits / 8))
+            (Subword.truncate ~bits:elem_bits v))
+        values;
+      buf
+  | Subword_major { elem_bits; bits; lane_bits; count; biased; _ } ->
+      if Array.length values <> count then
+        invalid_arg "Layout.encode: element count mismatch";
+      let lpw = 32 / lane_bits in
+      let wpp = (count + lpw - 1) / lpw in
+      let n_planes = elem_bits / bits in
+      let words = Array.make (n_planes * wpp) 0 in
+      let bias = if biased then 1 lsl (elem_bits - 1) else 0 in
+      Array.iteri
+        (fun i v ->
+          let v = Subword.truncate ~bits:elem_bits v lxor bias in
+          for p = 0 to n_planes - 1 do
+            let digit = (v lsr (p * bits)) land Subword.mask bits in
+            let w = (p * wpp) + (i / lpw) and lane = i mod lpw in
+            words.(w) <-
+              Subword.insert ~bits:lane_bits ~pos:lane ~into:words.(w) digit
+          done)
+        values;
+      let buf = Bytes.make (4 * Array.length words) '\000' in
+      Array.iteri (fun w v -> Bytes.set_int32_le buf (4 * w) (Int32.of_int v)) words;
+      buf
+
+let decode t ~count buf =
+  match t with
+  | Row_major { elem_bits; _ } ->
+      Array.init count (fun i -> read_elem buf ~elem_bits (i * (elem_bits / 8)))
+  | Subword_major { elem_bits; bits; lane_bits; count = c; biased; _ } ->
+      if count <> c then invalid_arg "Layout.decode: element count mismatch";
+      let lpw = 32 / lane_bits in
+      let wpp = (count + lpw - 1) / lpw in
+      let n_planes = elem_bits / bits in
+      let bias = if biased then 1 lsl (elem_bits - 1) else 0 in
+      let word w = Int32.to_int (Bytes.get_int32_le buf (4 * w)) land 0xFFFF_FFFF in
+      Array.init count (fun i ->
+          let acc = ref 0 in
+          for p = 0 to n_planes - 1 do
+            let w = (p * wpp) + (i / lpw) and lane = i mod lpw in
+            let digit = Subword.extract ~bits:lane_bits ~pos:lane (word w) in
+            acc := (!acc + (digit lsl (p * bits))) land 0xFFFF_FFFF
+          done;
+          Subword.truncate ~bits:elem_bits !acc lxor bias)
+
+let decode_signed t ~count buf =
+  let patterns = decode t ~count buf in
+  if is_signed t then
+    Array.map (fun v -> Subword.to_signed ~bits:(elem_bits t) v) patterns
+  else patterns
+
+let pp ppf = function
+  | Row_major { elem_bits; signed } ->
+      Format.fprintf ppf "row-major %s%d" (if signed then "i" else "u") elem_bits
+  | Subword_major { elem_bits; signed; bits; lane_bits; count; biased } ->
+      Format.fprintf ppf "subword-major %s%d bits=%d lanes=%d count=%d%s"
+        (if signed then "i" else "u")
+        elem_bits bits lane_bits count
+        (if biased then " biased" else "")

@@ -1,0 +1,66 @@
+(** Memory layouts for kernel data.
+
+    WN's subword vectorization transposes arrays to subword-major order
+    (Figure 7): all elements' most significant subwords form one
+    contiguous *plane*, then the next plane, and so on, so one 32-bit
+    load fetches the same-significance subwords of several elements.
+    Provisioned vectorization (Section III-B) widens each lane so
+    carry-outs are not lost.
+
+    A {!t} describes how an array of logical elements is stored; the
+    encode/decode functions convert between logical element values
+    (unsigned bit patterns of the element width) and raw storage bytes.
+    The same description drives the compiler's address generation and
+    the experiment harness's input encoding / output decoding. *)
+
+type t =
+  | Row_major of { elem_bits : int; signed : bool }
+      (** Conventional little-endian layout. *)
+  | Subword_major of {
+      elem_bits : int;
+      signed : bool;
+      bits : int;  (** subword (digit) width *)
+      lane_bits : int;  (** storage lane per digit; > [bits] when provisioned *)
+      count : int;  (** number of logical elements *)
+      biased : bool;
+          (** offset-binary storage (pattern ⊕ top bit): used for signed
+              reduction inputs so digit-plane partial sums reconstruct
+              the true sum modulo 2^32 with no correction term *)
+    }
+
+val row_major : Wn_lang.Ast.ty -> t
+
+val subword_major :
+  ?biased:bool ->
+  elem_bits:int ->
+  signed:bool -> bits:int -> lane_bits:int -> count:int -> unit -> t
+(** Raises [Invalid_argument] unless [bits] divides [elem_bits],
+    [lane_bits >= bits] and [lane_bits] divides 32. *)
+
+val planes : t -> int
+(** Number of subword planes (1 for row-major). *)
+
+val lanes_per_word : t -> int
+
+val words_per_plane : t -> count:int -> int
+
+val storage_bytes : t -> count:int -> int
+
+val elem_bits : t -> int
+val is_signed : t -> bool
+
+val encode : t -> int array -> bytes
+(** Element patterns (each truncated to the element width) to storage
+    bytes. *)
+
+val decode : t -> count:int -> bytes -> int array
+(** Storage bytes back to element patterns.  For subword-major storage
+    this reconstructs each element as [Σ lane << (plane * bits)] modulo
+    2^32 truncated to the element width — so provisioned carry lanes
+    fold back in exactly, and missing (still-zero) low planes yield the
+    anytime approximation. *)
+
+val decode_signed : t -> count:int -> bytes -> int array
+(** Like {!decode} but sign-extends each element per the layout. *)
+
+val pp : Format.formatter -> t -> unit

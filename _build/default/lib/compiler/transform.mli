@@ -1,0 +1,57 @@
+(** The What's Next compiler passes (Algorithm 1 of the paper).
+
+    [apply] rewrites each [anytime { body } commit { ... }] region of a
+    kernel according to the program's pragmas:
+
+    {b Anytime subword pipelining} (asp pragmas, Section III-A): the
+    region's top-level loop is fissioned into one replica per subword,
+    most significant first.  In replica [p], multiplications by an
+    annotated array element become [Mul_asp] stages over that element's
+    subword [p].  Statements that do not feed the pipelined
+    multiplication (e.g. an exact running sum sharing the loop) run only
+    in the first replica.  The [commit] block re-runs after every
+    replica so the best-so-far output is materialised in memory, and a
+    skim point ([Skim_here] → [SKM]) follows every non-final replica.
+
+    {b Anytime subword vectorization} (asv pragmas, Section III-B): the
+    annotated arrays are re-laid-out in subword-major order (Figure 7)
+    and the loop is rewritten to sweep one subword *plane* at a time,
+    most significant first, processing [32 / lane] elements per
+    [ADD_ASV]/[SUB_ASV] (or plain logical op, which is lane-safe).  Two
+    shapes are recognised:
+    - {e element-wise}: [X[i] = A[i] op B[i]] (or a copy) — MatAdd's
+      shape; provisioned operands get double-width lanes so carry-outs
+      are kept and the precise result is reached (Figure 14);
+    - {e reduction}: [s += A[i]] accumulators — Home's and NetMotion's
+      shape; lane-parallel partial sums are banked per plane into a
+      synthesised non-volatile array and the [commit] block's uses of
+      [s] are replaced by the exact reconstruction
+      [Σ plane_p << (p·bits)].  Reductions require [provisioned] and
+      use at least 16-bit lanes so banked partial sums cannot overflow
+      for the supported element counts.
+
+    In [`Precise] mode the anytime regions are left for the code
+    generator to inline as plain code and every array keeps its
+    row-major layout — the paper's baseline build. *)
+
+exception Error of string
+
+type result = {
+  body : Wn_lang.Ast.stmt list;  (** rewritten kernel body *)
+  storage_globals : Wn_lang.Ast.global list;
+      (** storage-level globals: originals, asv arrays retyped to their
+          plane words, plus synthesised accumulator-plane arrays *)
+  layouts : (string * Layout.t) list;
+      (** layout of every source-level global, for the harness *)
+}
+
+val apply :
+  mode:[ `Precise | `Anytime ] ->
+  ?vector_loads:bool ->
+  Wn_lang.Sema.info ->
+  Wn_lang.Ast.program ->
+  result
+(** [vector_loads] additionally vectorizes the subword loads feeding
+    SWP when the pipelined array is also stored subword-major (the
+    Figure 12 study): the innermost loop is unrolled by one plane word
+    and each MUL_ASP stage extracts its lane with a single shift. *)

@@ -1,0 +1,92 @@
+open Wn_lang
+open Ast
+
+let log2_exact n =
+  let rec go acc v = if v = 1 then Some acc else if v land 1 = 1 then None else go (acc + 1) (v / 2) in
+  if n <= 0 then None else go 0 n
+
+let mentions name e =
+  let found = ref false in
+  iter_expr (fun e -> match e with Var v when v = name -> found := true | _ -> ()) e;
+  !found
+
+let subst_var name repl e =
+  map_expr (fun e -> match e with Var v when v = name -> repl | e -> e) e
+
+(* The index must contain the loop variable as a plain additive term:
+   [k], [base + k] or [k + base] with [base] invariant in [k]. *)
+let additive_base ~var idx =
+  match idx with
+  | Var v when v = var -> Some (Int 0)
+  | Binop (Add, base, Var v) when v = var && not (mentions var base) -> Some base
+  | Binop (Add, Var v, base) when v = var && not (mentions var base) -> Some base
+  | _ -> None
+
+let try_loop ~geom (l : for_loop) =
+  match l.body with
+  | [ Aug_assign
+        ( Lvar acc,
+          Add,
+          Mul_asp (m, Sub_load { sl_arr; sl_index; sl_shift }, spec) ) ]
+    when l.step = 1 -> (
+      let wpp, bits = geom sl_arr in
+      let lpw = 32 / bits in
+      match (l.lo, l.hi, additive_base ~var:l.var sl_index, log2_exact lpw) with
+      | Int 0, Int n, Some _base, Some lg
+        when n mod lpw = 0 && sl_shift mod bits = 0 ->
+          let plane = sl_shift / bits in
+          let word_index =
+            Binop (Add, Int (plane * wpp), Binop (Shr, sl_index, Int lg))
+          in
+          let wv = "__wn_vw" in
+          let lane stage =
+            let m_l =
+              if stage = 0 then m
+              else subst_var l.var (Binop (Add, Var l.var, Int stage)) m
+            in
+            let sub =
+              if stage = 0 then Var wv
+              else Binop (Shr, Var wv, Int (stage * bits))
+            in
+            Aug_assign (Lvar acc, Add, Mul_asp (m_l, sub, spec))
+          in
+          Some
+            (For
+               {
+                 l with
+                 step = lpw;
+                 body = Decl (wv, Load (sl_arr, word_index)) :: List.init lpw lane;
+               })
+      | _ -> None)
+  | _ -> None
+
+let rec rewrite ~geom stmt =
+  match stmt with
+  | For l -> (
+      match rewrite_body ~geom l.body with
+      | Some body -> Some (For { l with body })
+      | None -> try_loop ~geom l)
+  | If (c, a, b) -> (
+      match rewrite_body ~geom a with
+      | Some a -> Some (If (c, a, b))
+      | None -> (
+          match rewrite_body ~geom b with
+          | Some b -> Some (If (c, a, b))
+          | None -> None))
+  | Decl _ | Assign _ | Aug_assign _ | Anytime _ | Skim_here -> None
+
+and rewrite_body ~geom stmts =
+  let changed = ref false in
+  let stmts' =
+    List.map
+      (fun s ->
+        if !changed then s
+        else
+          match rewrite ~geom s with
+          | Some s' ->
+              changed := true;
+              s'
+          | None -> s)
+      stmts
+  in
+  if !changed then Some stmts' else None

@@ -1,0 +1,23 @@
+(** Subword vectorization of the loads feeding anytime SWP — the
+    Figure 12 study.
+
+    When the pipelined input array is stored subword-major, each SWP
+    replica only needs one plane, and a single 32-bit load fetches the
+    same-significance subwords of [32 / bits] consecutive elements.
+    [rewrite] finds the innermost loop of the (already fissioned and
+    rewritten) replica whose body is a single accumulation
+
+    {v acc += m * MUL_ASP-subword-of A[base + k] v}
+
+    with [k] the loop variable, and unrolls it by one plane word: one
+    [LDR] replaces [32 / bits] subword loads, and each lane is exposed
+    to its MUL_ASP stage by a single shift (MUL_ASP truncates its
+    operand, so no masking is needed). *)
+
+val rewrite :
+  geom:(string -> int * int) ->
+  Wn_lang.Ast.stmt ->
+  Wn_lang.Ast.stmt option
+(** [geom arr] returns [(words_per_plane, bits)] for the subword-major
+    array [arr].  Returns [None] when no loop in the statement matches
+    the vectorizable shape. *)

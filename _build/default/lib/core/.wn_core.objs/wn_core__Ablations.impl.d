@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Earliest Format Intermittent List Suite Wn_power Wn_runtime Wn_workloads Workload

@@ -1,0 +1,1 @@
+lib/core/ablations.mli: Format Intermittent Wn_workloads Workload

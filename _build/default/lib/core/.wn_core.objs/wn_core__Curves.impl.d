@@ -1,0 +1,1 @@
+lib/core/curves.ml: Format List Runner Wn_runtime Wn_util Wn_workloads Workload

@@ -1,0 +1,1 @@
+lib/core/curves.mli: Format Wn_workloads Workload

@@ -1,0 +1,1 @@
+lib/core/earliest.ml: Runner Wn_machine Wn_runtime Wn_util Wn_workloads Workload

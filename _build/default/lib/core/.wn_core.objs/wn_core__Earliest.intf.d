@@ -1,0 +1,1 @@
+lib/core/earliest.mli: Wn_workloads Workload

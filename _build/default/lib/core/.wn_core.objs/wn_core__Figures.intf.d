@@ -1,0 +1,1 @@
+lib/core/figures.mli: Format Intermittent Wn_workloads Workload

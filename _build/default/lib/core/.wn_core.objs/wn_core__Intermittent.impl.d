@@ -1,0 +1,1 @@
+lib/core/intermittent.ml: Array Char Format List Runner String Wn_power Wn_runtime Wn_util Wn_workloads Workload

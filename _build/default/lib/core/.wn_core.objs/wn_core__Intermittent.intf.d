@@ -1,0 +1,1 @@
+lib/core/intermittent.mli: Format Wn_runtime Wn_workloads Workload

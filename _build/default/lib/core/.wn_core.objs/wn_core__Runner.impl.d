@@ -1,0 +1,1 @@
+lib/core/runner.ml: Printf Wn_compiler Wn_machine Wn_mem Wn_power Wn_runtime Wn_util Wn_workloads Workload

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Wn_compiler Wn_machine Wn_runtime Wn_workloads Workload

@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Array Earliest Float Glucose List Runner Suite Wn_runtime Wn_util Wn_workloads Workload

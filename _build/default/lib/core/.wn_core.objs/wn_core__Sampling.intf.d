@@ -1,0 +1,1 @@
+lib/core/sampling.mli: Wn_workloads Workload

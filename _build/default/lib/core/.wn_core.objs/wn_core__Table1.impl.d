@@ -1,0 +1,1 @@
+lib/core/table1.ml: Format List Runner Suite Wn_compiler Wn_machine Wn_power Wn_runtime Wn_util Wn_workloads Workload

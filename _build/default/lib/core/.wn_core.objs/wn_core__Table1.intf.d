@@ -1,0 +1,1 @@
+lib/core/table1.mli: Format Wn_workloads Workload

@@ -1,0 +1,62 @@
+(** Ablation studies over the design knobs DESIGN.md calls out —
+    sweeps beyond the paper's own figures, using the same measurement
+    machinery. *)
+
+open Wn_workloads
+
+(** {2 Memoization table size (paper footnote 5)} *)
+
+type memo_point = {
+  entries : int option;  (** [None] = no table *)
+  memo_speedup : float;  (** earliest-output speedup, Conv2d 4-bit *)
+  hit_rate : float;  (** table hits / multiply lookups *)
+}
+
+val memo_sweep : ?seed:int -> ?sizes:int list -> Workload.scale -> memo_point list
+(** Default sizes: 4, 8, 16, 32, 64 (plus the no-table baseline). *)
+
+(** {2 Clank watchdog period} *)
+
+type watchdog_point = {
+  period : int;
+  wd_speedup : float;  (** WN speedup over the baseline at this period *)
+  baseline_reexec : float;  (** mean re-executed fraction of the precise build *)
+}
+
+val watchdog_sweep :
+  ?periods:int list -> ?setup:Intermittent.setup -> Workload.scale ->
+  watchdog_point list
+(** Sweeps the checkpoint watchdog on the Var benchmark (4-bit).
+    Periods larger than a charge burst strand the baseline in
+    re-execution — the pathology skim points remove. *)
+
+(** {2 Energy per cycle (burst-length calibration)} *)
+
+type energy_point = {
+  cycle_energy : float;
+  burst_cycles : int;  (** cycles a full 10 µF charge sustains *)
+  energy_speedup : float;  (** Var 4-bit on Clank *)
+}
+
+val energy_sweep :
+  ?energies:float list -> ?setup:Intermittent.setup -> Workload.scale ->
+  energy_point list
+
+(** {2 Subword granularity across the suite (Figure 15, generalised)} *)
+
+type subword_point = {
+  workload : string;
+  bits : int;
+  sw_speedup : float;  (** earliest-output speedup *)
+  sw_nrmse : float;
+}
+
+val subword_sweep :
+  ?seed:int -> ?bits_list:int list -> Workload.scale -> subword_point list
+(** Defaults: every benchmark at 2/4/8-bit subwords (SWV kernels only at
+    4 and 8, their legal sizes). *)
+
+val pp_memo : Format.formatter -> memo_point list -> unit
+val pp_watchdog : Format.formatter -> watchdog_point list -> unit
+val pp_energy : Format.formatter -> energy_point list -> unit
+val pp_subword : Format.formatter -> subword_point list -> unit

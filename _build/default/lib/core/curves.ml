@@ -1,0 +1,64 @@
+open Wn_workloads
+
+type point = { runtime : float; nrmse : float }
+
+type curve = {
+  workload : string;
+  bits : int;
+  provisioned : bool;
+  vector_loads : bool;
+  baseline_cycles : int;
+  anytime_cycles : int;
+  final_nrmse : float;
+  points : point list;
+}
+
+let runtime_quality ?(points = 48) ?(vector_loads = false) ?(provisioned = true)
+    ~seed ~bits (w : Workload.t) =
+  let cfg = { Workload.bits; provisioned } in
+  let rng = Wn_util.Rng.create seed in
+  let inputs = w.Workload.fresh_inputs rng in
+  let anytime = Runner.build ~vector_loads w cfg in
+  let reference, baseline_cycles = Runner.precise_reference anytime inputs in
+  let machine = Runner.machine anytime in
+  Runner.load_sample anytime machine inputs;
+  let collected = ref [] in
+  let snapshot ~active_cycles ~wall_cycles =
+    ignore wall_cycles;
+    let out = Runner.output anytime machine in
+    let err = Runner.nrmse_pct ~reference out in
+    collected :=
+      { runtime = float_of_int active_cycles /. float_of_int baseline_cycles;
+        nrmse = err }
+      :: !collected
+  in
+  (* Snapshot density relative to the *anytime* build's expected length
+     (roughly 2–3× baseline); probe a little finer than requested. *)
+  let snapshot_every = max 200 (baseline_cycles * 3 / points) in
+  let outcome =
+    Runner.run_always_on ~snapshot_every ~snapshot anytime machine
+  in
+  if not outcome.Wn_runtime.Executor.completed then
+    failwith "Curves.runtime_quality: anytime build did not complete";
+  let final_out = Runner.output anytime machine in
+  {
+    workload = w.Workload.name;
+    bits;
+    provisioned;
+    vector_loads;
+    baseline_cycles;
+    anytime_cycles = outcome.Wn_runtime.Executor.active_cycles;
+    final_nrmse = Runner.nrmse_pct ~reference final_out;
+    points = List.rev !collected;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf "# %s, %d-bit%s%s: baseline %d cycles, anytime %d cycles@."
+    c.workload c.bits
+    (if c.provisioned then ", provisioned" else "")
+    (if c.vector_loads then ", vectorized loads" else "")
+    c.baseline_cycles c.anytime_cycles;
+  Format.fprintf ppf "# runtime(norm), nrmse(%%)@.";
+  List.iter
+    (fun p -> Format.fprintf ppf "%.4f, %.6f@." p.runtime p.nrmse)
+    c.points

@@ -1,0 +1,34 @@
+(** Runtime–quality trade-off curves (Figures 9, 12 and 14).
+
+    The curve samples the output's NRMSE at regular active-cycle
+    intervals while the anytime build runs under continuous power; the
+    x axis is normalised to the precise build's runtime on the same
+    inputs, exactly as in the paper's plots. *)
+
+open Wn_workloads
+
+type point = { runtime : float;  (** normalised to the precise build *) nrmse : float  (** percent *) }
+
+type curve = {
+  workload : string;
+  bits : int;
+  provisioned : bool;
+  vector_loads : bool;
+  baseline_cycles : int;  (** precise build, always-on *)
+  anytime_cycles : int;  (** anytime build to the final (precise) output *)
+  final_nrmse : float;  (** error once the anytime build finishes *)
+  points : point list;
+}
+
+val runtime_quality :
+  ?points:int ->
+  ?vector_loads:bool ->
+  ?provisioned:bool ->
+  seed:int ->
+  bits:int ->
+  Workload.t ->
+  curve
+(** [points] (default 48) controls the snapshot density. *)
+
+val pp : Format.formatter -> curve -> unit
+(** CSV-like rows: normalised runtime, NRMSE%. *)

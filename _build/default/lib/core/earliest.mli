@@ -1,0 +1,35 @@
+(** "Earliest available output" studies — the memoization / zero-skip
+    case study (Figure 13) and the small-subword case study (Figures 15
+    and 16): the task is interrupted the instant its first skim point is
+    latched and the committed approximate output is taken as-is. *)
+
+open Wn_workloads
+
+type run = {
+  active_cycles : int;
+  nrmse : float;  (** percent, vs the precise output *)
+  out : float array;  (** the committed output (for image dumps) *)
+  reference : float array;
+  baseline_cycles : int;  (** plain precise build on the same inputs *)
+  memo_hits : int;  (** 0 when no table is configured *)
+  memo_misses : int;
+}
+
+val earliest :
+  ?memo_entries:int ->
+  ?zero_skip:bool ->
+  ?seed:int ->
+  ?vector_loads:bool ->
+  bits:int ->
+  Workload.t ->
+  run
+(** Run the anytime build to its first skim point and commit.
+    [vector_loads] builds the Figure 12 variant. *)
+
+val precise_with :
+  ?memo_entries:int -> ?zero_skip:bool -> ?seed:int -> Workload.t -> run
+(** Run the precise build to completion (optionally with the memo table
+    and zero skipping, for Figure 13's precise bars); [nrmse] is 0. *)
+
+val speedup : run -> float
+(** [baseline_cycles / active_cycles]. *)

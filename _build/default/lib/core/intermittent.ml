@@ -1,0 +1,143 @@
+open Wn_workloads
+module Executor = Wn_runtime.Executor
+
+type system = Clank | Nvp
+
+let system_name = function Clank -> "checkpoint-volatile" | Nvp -> "nvp"
+
+type result = {
+  workload : string;
+  bits : int;
+  system : system;
+  speedup : float;
+  nrmse : float;
+  skim_rate : float;
+  outages_per_task : float;
+  baseline_reexec : float;
+  samples : int;
+}
+
+type setup = {
+  n_traces : int;
+  invocations : int;
+  samples_per_run : int;
+  trace_seed : int;
+  input_seed : int;
+  clank_config : Executor.clank_config;
+  cycle_energy : float;
+}
+
+let default_setup =
+  {
+    n_traces = 3;
+    invocations = 1;
+    samples_per_run = 2;
+    trace_seed = 2024;
+    input_seed = 7;
+    clank_config = Executor.default_clank;
+    cycle_energy = Wn_power.Supply.default_cycle_energy;
+  }
+
+let paper_setup =
+  { default_setup with n_traces = 9; invocations = 3; samples_per_run = 3 }
+
+let name_hash s = String.fold_left (fun acc c -> (acc * 31) + Char.code c) 0 s
+
+type task_measure = {
+  wall : int;
+  out : float array;
+  skimmed : bool;
+  outages : int;
+  reexec_frac : float;
+  ok : bool;
+}
+
+(* Process a stream of pre-generated samples on one supply; the
+   capacitor state carries over between samples, as on a real device. *)
+let run_stream ~cycle_energy build policy trace samples =
+  let supply =
+    Wn_power.Supply.create ~cycle_energy ~trace
+      ~capacitor:(Wn_power.Capacitor.create ()) ()
+  in
+  let machine = Runner.machine build in
+  List.map
+    (fun inputs ->
+      Runner.load_sample build machine inputs;
+      let o = Executor.run ~policy ~machine ~supply () in
+      {
+        wall = o.Executor.wall_cycles;
+        out = Runner.output build machine;
+        skimmed = o.Executor.skimmed;
+        outages = o.Executor.outage_count;
+        reexec_frac =
+          (if o.Executor.retired = 0 then 0.0
+           else
+             float_of_int o.Executor.reexecuted_instructions
+             /. float_of_int o.Executor.retired);
+        ok = o.Executor.completed;
+      })
+    samples
+
+let run ?(setup = default_setup) ~system ~bits (w : Workload.t) =
+  let cfg = { Workload.bits; provisioned = true } in
+  let anytime = Runner.build w cfg in
+  let precise = Runner.build ~precise:true w cfg in
+  let policy =
+    match system with
+    | Clank -> Executor.Clank setup.clank_config
+    | Nvp -> Executor.Nvp Executor.default_nvp
+  in
+  let traces =
+    Wn_power.Trace.paper_suite ~count:setup.n_traces ~seed:setup.trace_seed
+      ~duration_s:60.0 ()
+  in
+  let speedups = ref [] and errors = ref [] and reexecs = ref [] in
+  let skims = ref 0 and outage_total = ref 0 and total = ref 0 in
+  List.iteri
+    (fun ti trace ->
+      for inv = 0 to setup.invocations - 1 do
+        let rng =
+          Wn_util.Rng.create
+            (setup.input_seed + name_hash w.Workload.name + (7919 * inv)
+           + (104729 * ti))
+        in
+        let samples =
+          List.init setup.samples_per_run (fun _ -> w.Workload.fresh_inputs rng)
+        in
+        let base = run_stream ~cycle_energy:setup.cycle_energy precise policy trace samples in
+        let wn = run_stream ~cycle_energy:setup.cycle_energy anytime policy trace samples in
+        List.iteri
+          (fun i inputs ->
+            let b = List.nth base i and a = List.nth wn i in
+            if b.ok && a.ok then begin
+              let golden = w.Workload.golden inputs in
+              speedups :=
+                (float_of_int b.wall /. float_of_int a.wall) :: !speedups;
+              errors := Runner.nrmse_pct ~reference:golden a.out :: !errors;
+              reexecs := b.reexec_frac :: !reexecs;
+              if a.skimmed then incr skims;
+              outage_total := !outage_total + a.outages;
+              incr total
+            end)
+          samples
+      done)
+    traces;
+  if !total = 0 then failwith "Intermittent.run: no sample completed";
+  {
+    workload = w.Workload.name;
+    bits;
+    system;
+    speedup = Wn_util.Stats.median (Array.of_list !speedups);
+    nrmse = Wn_util.Stats.median (Array.of_list !errors);
+    skim_rate = float_of_int !skims /. float_of_int !total;
+    outages_per_task = float_of_int !outage_total /. float_of_int !total;
+    baseline_reexec = Wn_util.Stats.mean (Array.of_list !reexecs);
+    samples = !total;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%-10s %d-bit on %-18s: speedup %.2fx, NRMSE %.3f%%, skim rate %.0f%%, \
+     %.1f outages/task (%d samples)"
+    r.workload r.bits (system_name r.system) r.speedup r.nrmse
+    (100.0 *. r.skim_rate) r.outages_per_task r.samples

@@ -1,0 +1,50 @@
+(** Intermittent-execution evaluation (Figures 10 and 11).
+
+    A stream of input samples is processed under a harvesting supply,
+    once with the precise build and once with the anytime (WN) build,
+    on the same voltage traces.  The precise build runs every task to
+    completion across outages; the WN build commits its approximate
+    output at the first outage past a skim point and moves to the next
+    sample — the paper's as-is semantics.  Speedup is the median ratio
+    of per-sample wall-clock times; quality is the median NRMSE of the
+    committed outputs. *)
+
+open Wn_workloads
+
+type system = Clank | Nvp
+
+val system_name : system -> string
+
+type result = {
+  workload : string;
+  bits : int;
+  system : system;
+  speedup : float;  (** median per-sample wall-time ratio *)
+  nrmse : float;  (** median committed-output NRMSE, percent *)
+  skim_rate : float;  (** fraction of WN tasks that finished via skim *)
+  outages_per_task : float;  (** mean, WN build *)
+  baseline_reexec : float;
+      (** mean fraction of the precise build's instructions that were
+          rollback re-execution (0 on NVP) *)
+  samples : int;  (** total measured samples *)
+}
+
+type setup = {
+  n_traces : int;  (** voltage traces (paper: 9) *)
+  invocations : int;  (** invocations per trace (paper: 3) *)
+  samples_per_run : int;  (** stream samples per invocation *)
+  trace_seed : int;
+  input_seed : int;
+  clank_config : Wn_runtime.Executor.clank_config;
+  cycle_energy : float;  (** joules per cycle (ablation knob) *)
+}
+
+val default_setup : setup
+(** 3 traces × 1 invocation × 2 samples — sized for CI; pass the paper
+    setup (9 × 3) for the full experiment. *)
+
+val paper_setup : setup
+
+val run : ?setup:setup -> system:system -> bits:int -> Workload.t -> result
+
+val pp : Format.formatter -> result -> unit

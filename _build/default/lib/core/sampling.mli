@@ -1,0 +1,54 @@
+(** Anytime processing versus input sampling (Figures 3 and 17).
+
+    When a precise implementation cannot keep up with the input rate,
+    the conventional answer is to drop samples; WN instead produces an
+    approximate output for *every* sample.  Both studies ground the
+    energy argument in measured cycle counts: the period at which the
+    sampled implementation can keep up is the measured ratio of the
+    precise task's cycles to the anytime task's earliest-output
+    cycles. *)
+
+open Wn_workloads
+
+(** {2 Figure 17: Var over a stream of data sets} *)
+
+type var_row = {
+  dataset : int;
+  exact : float;  (** true variance *)
+  anytime : float;  (** WN 4-bit earliest output *)
+  sampled : float option;  (** precise, only when the budget allows *)
+}
+
+type var_result = {
+  rows : var_row list;
+  anytime_mean_err_pct : float;
+      (** mean |anytime - exact| / exact, percent (the paper reports
+          1.53%) *)
+  cost_ratio : float;  (** precise cycles / anytime-earliest cycles *)
+  keep_every : int;  (** sampling period implied by the cost ratio *)
+}
+
+val var_study :
+  ?datasets:int -> ?seed:int -> ?bits:int -> Workload.scale -> var_result
+(** Default: 24 data sets (as in Figure 17), 4-bit subwords. *)
+
+(** {2 Figure 3: blood-glucose monitoring} *)
+
+type glucose_row = {
+  minutes : int;
+  clock : string;
+  clinical : float;
+  sampled : float option;  (** reading produced under input sampling *)
+  anytime : float;  (** reading produced by 4-bit anytime processing *)
+}
+
+type glucose_result = {
+  readings : glucose_row list;
+  total_dips : int;  (** critical events in the clinical series *)
+  sampled_detected : int;
+  anytime_detected : int;
+  anytime_mean_err_pct : float;
+  cost_ratio : float;
+}
+
+val glucose_study : ?seed:int -> ?bits:int -> Workload.scale -> glucose_result

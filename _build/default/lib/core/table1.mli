@@ -1,0 +1,20 @@
+(** Table I: the benchmark inventory with measured runtime and the
+    dynamic share of WN-amenable instructions. *)
+
+open Wn_workloads
+
+type row = {
+  name : string;
+  area : string;
+  description : string;
+  technique : Workload.technique;
+  insn_pct : float;
+      (** dynamic % of WN-extension instructions in the anytime build *)
+  runtime_ms : float;  (** precise build at the paper's 24 MHz clock *)
+  code_bytes_precise : int;
+  code_bytes_anytime : int;
+}
+
+val rows : ?seed:int -> ?bits:int -> Workload.scale -> row list
+
+val pp : Format.formatter -> row list -> unit

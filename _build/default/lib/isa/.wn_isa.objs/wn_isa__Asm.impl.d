@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Format Hashtbl Instr List Printf

@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Array Bool Cond Instr Int32 List Printf Reg

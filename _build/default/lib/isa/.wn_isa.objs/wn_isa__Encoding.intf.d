@@ -1,0 +1,1 @@
+lib/isa/encoding.mli: Instr

@@ -1,0 +1,181 @@
+(* Field layout (bit positions within the 32-bit word):
+     opcode  [31:26]
+     rd/rn1  [25:22]   rn/rn2 [21:18]   rm [17:14]
+     sub-op  [17:15] (ALU-imm) / [13:11] (ALU-reg)
+     lane or subword bits [13:9], signedness [8], position [2:0]
+     memory width [13:12], signedness [11], offset [9:0]
+     imm16 / branch target [15:0], imm12 [11:0], imm5 [4:0]. *)
+
+open Instr
+
+let check name v lo hi =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Encoding: %s out of range: %d" name v)
+
+let alu_code = function
+  | Add -> 0 | Sub -> 1 | And -> 2 | Orr -> 3 | Eor -> 4 | Bic -> 5
+  | Adc -> 6 | Sbc -> 7
+
+let alu_of_code = function
+  | 0 -> Add | 1 -> Sub | 2 -> And | 3 -> Orr | 4 -> Eor | 5 -> Bic
+  | 6 -> Adc | _ -> Sbc
+
+let shift_code = function Lsl -> 0 | Lsr -> 1 | Asr -> 2
+
+let shift_of_code = function 0 -> Lsl | 1 -> Lsr | _ -> Asr
+
+let width_code = function Byte -> 0 | Half -> 1 | Word -> 2
+
+let width_of_code = function 0 -> Byte | 1 -> Half | _ -> Word
+
+let b = Bool.to_int
+
+let reg r = Reg.index r
+
+let pack ~opcode fields =
+  let word = List.fold_left (fun acc (v, pos) -> acc lor (v lsl pos)) 0 fields in
+  Int32.logor
+    (Int32.shift_left (Int32.of_int opcode) 26)
+    (Int32.of_int (word land 0x03FF_FFFF))
+
+let encode t =
+  match t with
+  | Nop -> pack ~opcode:0 []
+  | Halt -> pack ~opcode:1 []
+  | Mov_imm (rd, i) ->
+      check "imm16" i 0 0xFFFF;
+      pack ~opcode:2 [ (reg rd, 22); (i, 0) ]
+  | Movt (rd, i) ->
+      check "imm16" i 0 0xFFFF;
+      pack ~opcode:3 [ (reg rd, 22); (i, 0) ]
+  | Mov (rd, rn) -> pack ~opcode:4 [ (reg rd, 22); (reg rn, 18) ]
+  | Alu (op, rd, rn, rm) ->
+      pack ~opcode:5
+        [ (reg rd, 22); (reg rn, 18); (reg rm, 14); (alu_code op, 11) ]
+  | Alu_imm (op, rd, rn, i) ->
+      check "imm12" i 0 0xFFF;
+      pack ~opcode:6 [ (reg rd, 22); (reg rn, 18); (alu_code op, 15); (i, 0) ]
+  | Shift (op, rd, rn, i) ->
+      check "imm5" i 0 31;
+      pack ~opcode:7 [ (reg rd, 22); (reg rn, 18); (shift_code op, 16); (i, 0) ]
+  | Mul (rd, rn, rm) ->
+      pack ~opcode:8 [ (reg rd, 22); (reg rn, 18); (reg rm, 14) ]
+  | Mul_asp { bits; signed; rd; rn; shift } ->
+      check "subword bits" bits 1 16;
+      check "subword shift" shift 0 31;
+      pack ~opcode:9
+        [ (reg rd, 22); (reg rn, 18); (bits, 9); (b signed, 8); (shift, 0) ]
+  | Add_asv (w, rd, rn, rm) ->
+      check "lane bits" w 1 16;
+      pack ~opcode:10 [ (reg rd, 22); (reg rn, 18); (reg rm, 14); (w, 9) ]
+  | Sub_asv (w, rd, rn, rm) ->
+      check "lane bits" w 1 16;
+      pack ~opcode:11 [ (reg rd, 22); (reg rn, 18); (reg rm, 14); (w, 9) ]
+  | Cmp (rn, rm) -> pack ~opcode:12 [ (reg rn, 22); (reg rm, 18) ]
+  | Cmp_imm (rn, i) ->
+      check "imm16" i 0 0xFFFF;
+      pack ~opcode:13 [ (reg rn, 22); (i, 0) ]
+  | Ldr { width; signed; rd; base; off } ->
+      check "offset" off 0 0x3FF;
+      pack ~opcode:14
+        [ (reg rd, 22); (reg base, 18); (width_code width, 12);
+          (b signed, 11); (off, 0) ]
+  | Str { width; rs; base; off } ->
+      check "offset" off 0 0x3FF;
+      pack ~opcode:15
+        [ (reg rs, 22); (reg base, 18); (width_code width, 12); (off, 0) ]
+  | Ldr_reg { width; signed; rd; base; idx } ->
+      pack ~opcode:16
+        [ (reg rd, 22); (reg base, 18); (reg idx, 14);
+          (width_code width, 12); (b signed, 11) ]
+  | Str_reg { width; rs; base; idx } ->
+      pack ~opcode:17
+        [ (reg rs, 22); (reg base, 18); (reg idx, 14); (width_code width, 12) ]
+  | B (c, tgt) ->
+      check "branch target" tgt 0 0xFFFF;
+      pack ~opcode:18 [ (Cond.to_int c, 22); (tgt, 0) ]
+  | Bl tgt ->
+      check "branch target" tgt 0 0xFFFF;
+      pack ~opcode:19 [ (tgt, 0) ]
+  | Bx_lr -> pack ~opcode:20 []
+  | Skm tgt ->
+      check "skim target" tgt 0 0xFFFF;
+      pack ~opcode:21 [ (tgt, 0) ]
+  | Sqrt (rd, rn) -> pack ~opcode:22 [ (reg rd, 22); (reg rn, 18) ]
+  | Sqrt_asp { bits; rd; rn } ->
+      check "sqrt bits" bits 1 16;
+      pack ~opcode:23 [ (reg rd, 22); (reg rn, 18); (bits, 9) ]
+
+let field word pos width =
+  Int32.to_int (Int32.shift_right_logical word pos) land ((1 lsl width) - 1)
+
+let decode word =
+  let opcode = field word 26 6 in
+  let rd () = Reg.r (field word 22 4) in
+  let rn () = Reg.r (field word 18 4) in
+  let rm () = Reg.r (field word 14 4) in
+  let imm16 = field word 0 16 in
+  match opcode with
+  | 0 -> Ok Nop
+  | 1 -> Ok Halt
+  | 2 -> Ok (Mov_imm (rd (), imm16))
+  | 3 -> Ok (Movt (rd (), imm16))
+  | 4 -> Ok (Mov (rd (), rn ()))
+  | 5 -> Ok (Alu (alu_of_code (field word 11 3), rd (), rn (), rm ()))
+  | 6 -> Ok (Alu_imm (alu_of_code (field word 15 3), rd (), rn (), field word 0 12))
+  | 7 -> Ok (Shift (shift_of_code (field word 16 2), rd (), rn (), field word 0 5))
+  | 8 -> Ok (Mul (rd (), rn (), rm ()))
+  | 9 ->
+      Ok
+        (Mul_asp
+           { bits = field word 9 5; signed = field word 8 1 = 1;
+             rd = rd (); rn = rn (); shift = field word 0 5 })
+  | 10 -> Ok (Add_asv (field word 9 5, rd (), rn (), rm ()))
+  | 11 -> Ok (Sub_asv (field word 9 5, rd (), rn (), rm ()))
+  | 12 -> Ok (Cmp (rd (), rn ()))
+  | 13 -> Ok (Cmp_imm (rd (), imm16))
+  | 14 ->
+      Ok
+        (Ldr
+           { width = width_of_code (field word 12 2);
+             signed = field word 11 1 = 1; rd = rd (); base = rn ();
+             off = field word 0 10 })
+  | 15 ->
+      Ok
+        (Str
+           { width = width_of_code (field word 12 2); rs = rd ();
+             base = rn (); off = field word 0 10 })
+  | 16 ->
+      Ok
+        (Ldr_reg
+           { width = width_of_code (field word 12 2);
+             signed = field word 11 1 = 1; rd = rd (); base = rn ();
+             idx = rm () })
+  | 17 ->
+      Ok
+        (Str_reg
+           { width = width_of_code (field word 12 2); rs = rd ();
+             base = rn (); idx = rm () })
+  | 18 -> (
+      match Cond.of_int (field word 22 4) with
+      | Some c -> Ok (B (c, imm16))
+      | None -> Error (Printf.sprintf "bad condition code in %08lx" word))
+  | 19 -> Ok (Bl imm16)
+  | 20 -> Ok Bx_lr
+  | 21 -> Ok (Skm imm16)
+  | 22 -> Ok (Sqrt (rd (), rn ()))
+  | 23 -> Ok (Sqrt_asp { bits = field word 9 5; rd = rd (); rn = rn () })
+  | n -> Error (Printf.sprintf "unknown opcode %d" n)
+
+let encode_program prog = Array.map encode prog
+
+let decode_program words =
+  let exception Bad of string in
+  try
+    Ok
+      (Array.map
+         (fun w -> match decode w with Ok i -> i | Error e -> raise (Bad e))
+         words)
+  with Bad e -> Error e
+
+let code_size_bytes prog = 4 * Array.length prog

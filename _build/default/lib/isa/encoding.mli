@@ -1,0 +1,19 @@
+(** Binary encoding of WN-32 instructions.
+
+    Each instruction occupies one 32-bit word.  The encoding exists so
+    the reproduction has a concrete machine-code level (program sizes in
+    bytes, Section III-A's code-size discussion) and so the codec can be
+    property-tested; the simulator itself executes decoded values. *)
+
+val encode : int Instr.t -> int32
+(** Raises [Invalid_argument] if a field is out of range (e.g. an
+    immediate too wide, a branch target beyond 16 bits). *)
+
+val decode : int32 -> (int Instr.t, string) result
+
+val encode_program : int Instr.t array -> int32 array
+
+val decode_program : int32 array -> (int Instr.t array, string) result
+
+val code_size_bytes : int Instr.t array -> int
+(** Size of the encoded program in bytes (4 bytes per instruction). *)

@@ -1,0 +1,146 @@
+type alu_op = Add | Sub | And | Orr | Eor | Bic | Adc | Sbc
+
+type shift_op = Lsl | Lsr | Asr
+
+type width = Byte | Half | Word
+
+type 'lbl t =
+  | Mov_imm of Reg.t * int
+  | Movt of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t
+  | Alu_imm of alu_op * Reg.t * Reg.t * int
+  | Shift of shift_op * Reg.t * Reg.t * int
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Mul_asp of { bits : int; signed : bool; rd : Reg.t; rn : Reg.t; shift : int }
+  | Add_asv of int * Reg.t * Reg.t * Reg.t
+  | Sub_asv of int * Reg.t * Reg.t * Reg.t
+  | Sqrt of Reg.t * Reg.t
+  | Sqrt_asp of { bits : int; rd : Reg.t; rn : Reg.t }
+  | Cmp of Reg.t * Reg.t
+  | Cmp_imm of Reg.t * int
+  | Ldr of { width : width; signed : bool; rd : Reg.t; base : Reg.t; off : int }
+  | Str of { width : width; rs : Reg.t; base : Reg.t; off : int }
+  | Ldr_reg of { width : width; signed : bool; rd : Reg.t; base : Reg.t; idx : Reg.t }
+  | Str_reg of { width : width; rs : Reg.t; base : Reg.t; idx : Reg.t }
+  | B of Cond.t * 'lbl
+  | Bl of 'lbl
+  | Bx_lr
+  | Skm of 'lbl
+  | Nop
+  | Halt
+
+let map_target f = function
+  | B (c, l) -> B (c, f l)
+  | Bl l -> Bl (f l)
+  | Skm l -> Skm (f l)
+  | Mov_imm (r, i) -> Mov_imm (r, i)
+  | Movt (r, i) -> Movt (r, i)
+  | Mov (a, b) -> Mov (a, b)
+  | Alu (op, a, b, c) -> Alu (op, a, b, c)
+  | Alu_imm (op, a, b, i) -> Alu_imm (op, a, b, i)
+  | Shift (op, a, b, i) -> Shift (op, a, b, i)
+  | Mul (a, b, c) -> Mul (a, b, c)
+  | Mul_asp m -> Mul_asp m
+  | Add_asv (w, a, b, c) -> Add_asv (w, a, b, c)
+  | Sub_asv (w, a, b, c) -> Sub_asv (w, a, b, c)
+  | Sqrt (a, b) -> Sqrt (a, b)
+  | Sqrt_asp s -> Sqrt_asp s
+  | Cmp (a, b) -> Cmp (a, b)
+  | Cmp_imm (a, i) -> Cmp_imm (a, i)
+  | Ldr l -> Ldr l
+  | Str s -> Str s
+  | Ldr_reg l -> Ldr_reg l
+  | Str_reg s -> Str_reg s
+  | Bx_lr -> Bx_lr
+  | Nop -> Nop
+  | Halt -> Halt
+
+let target = function
+  | B (_, l) | Bl l | Skm l -> Some l
+  | _ -> None
+
+(* Latencies follow the M0+ the paper models: single-cycle ALU ops,
+   2-cycle memory accesses, 2-cycle taken branches (pipeline refill),
+   and an iterative multiplier at one operand bit per cycle — 16 cycles
+   for the benchmarks' 16-bit full-precision multiplies, [bits] cycles
+   for a MUL_ASP<bits> stage. *)
+let cycles ~taken = function
+  | Mov_imm _ | Movt _ | Mov _ | Alu _ | Alu_imm _ | Shift _ -> 1
+  | Mul _ -> 16
+  | Mul_asp { bits; _ } -> bits
+  | Sqrt _ -> 16
+  | Sqrt_asp { bits; _ } -> bits
+  | Add_asv _ | Sub_asv _ -> 1
+  | Cmp _ | Cmp_imm _ -> 1
+  | Ldr _ | Str _ | Ldr_reg _ | Str_reg _ -> 2
+  | B (Cond.Al, _) -> 2
+  | B _ -> if taken then 2 else 1
+  | Bl _ -> 2
+  | Bx_lr -> 2
+  | Skm _ -> 1
+  | Nop -> 1
+  | Halt -> 1
+
+let reads_memory = function Ldr _ | Ldr_reg _ -> true | _ -> false
+let writes_memory = function Str _ | Str_reg _ -> true | _ -> false
+
+let is_wn_extension = function
+  | Mul_asp _ | Add_asv _ | Sub_asv _ | Sqrt_asp _ | Skm _ -> true
+  | _ -> false
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Orr -> "orr"
+  | Eor -> "eor" | Bic -> "bic" | Adc -> "adc" | Sbc -> "sbc"
+
+let shift_name = function Lsl -> "lsl" | Lsr -> "lsr" | Asr -> "asr"
+
+let width_suffix = function Byte -> "b" | Half -> "h" | Word -> ""
+
+let pp ~lbl ppf t =
+  let r = Reg.to_string in
+  match t with
+  | Mov_imm (rd, i) -> Format.fprintf ppf "mov %s, #%d" (r rd) i
+  | Movt (rd, i) -> Format.fprintf ppf "movt %s, #%d" (r rd) i
+  | Mov (rd, rm) -> Format.fprintf ppf "mov %s, %s" (r rd) (r rm)
+  | Alu (op, rd, rn, rm) ->
+      Format.fprintf ppf "%s %s, %s, %s" (alu_name op) (r rd) (r rn) (r rm)
+  | Alu_imm (op, rd, rn, i) ->
+      Format.fprintf ppf "%s %s, %s, #%d" (alu_name op) (r rd) (r rn) i
+  | Shift (op, rd, rn, i) ->
+      Format.fprintf ppf "%s %s, %s, #%d" (shift_name op) (r rd) (r rn) i
+  | Mul (rd, rn, rm) -> Format.fprintf ppf "mul %s, %s, %s" (r rd) (r rn) (r rm)
+  | Mul_asp { bits; signed; rd; rn; shift } ->
+      Format.fprintf ppf "mul_asp%d%s %s, %s, <<%d" bits
+        (if signed then "s" else "") (r rd) (r rn) shift
+  | Add_asv (w, rd, rn, rm) ->
+      Format.fprintf ppf "add_asv%d %s, %s, %s" w (r rd) (r rn) (r rm)
+  | Sub_asv (w, rd, rn, rm) ->
+      Format.fprintf ppf "sub_asv%d %s, %s, %s" w (r rd) (r rn) (r rm)
+  | Sqrt (rd, rn) -> Format.fprintf ppf "sqrt %s, %s" (r rd) (r rn)
+  | Sqrt_asp { bits; rd; rn } ->
+      Format.fprintf ppf "sqrt_asp%d %s, %s" bits (r rd) (r rn)
+  | Cmp (rn, rm) -> Format.fprintf ppf "cmp %s, %s" (r rn) (r rm)
+  | Cmp_imm (rn, i) -> Format.fprintf ppf "cmp %s, #%d" (r rn) i
+  | Ldr { width; signed; rd; base; off } ->
+      Format.fprintf ppf "ldr%s%s %s, [%s, #%d]"
+        (if signed then "s" else "") (width_suffix width) (r rd) (r base) off
+  | Str { width; rs; base; off } ->
+      Format.fprintf ppf "str%s %s, [%s, #%d]" (width_suffix width) (r rs)
+        (r base) off
+  | Ldr_reg { width; signed; rd; base; idx } ->
+      Format.fprintf ppf "ldr%s%s %s, [%s, %s]"
+        (if signed then "s" else "") (width_suffix width) (r rd) (r base)
+        (r idx)
+  | Str_reg { width; rs; base; idx } ->
+      Format.fprintf ppf "str%s %s, [%s, %s]" (width_suffix width) (r rs)
+        (r base) (r idx)
+  | B (Cond.Al, l) -> Format.fprintf ppf "b %a" lbl l
+  | B (c, l) -> Format.fprintf ppf "b%s %a" (Cond.to_string c) lbl l
+  | Bl l -> Format.fprintf ppf "bl %a" lbl l
+  | Bx_lr -> Format.pp_print_string ppf "bx lr"
+  | Skm l -> Format.fprintf ppf "skm %a" lbl l
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp_resolved ppf t = pp ~lbl:Format.pp_print_int ppf t

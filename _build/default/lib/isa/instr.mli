@@ -1,0 +1,89 @@
+(** WN-32 instruction set.
+
+    The ISA is a Thumb-flavoured 32-bit-datapath RISC modelled on the
+    Cortex M0+ the paper targets, extended with the three What's Next
+    mechanisms:
+
+    - [Mul_asp] — anytime subword pipelining: multiply by a single
+      subword of an operand ([MUL_ASP<BITS>] in the paper, Listing 2);
+    - [Add_asv]/[Sub_asv] — anytime subword vectorization: lane-parallel
+      addition with the carry chain cut at lane boundaries (Figure 8);
+    - [Skm] — skim point: latch a restore target in a dedicated
+      non-volatile register, decoupling the checkpoint location from the
+      post-outage restore location (Section III-C).
+
+    The type is polymorphic in the branch-target representation: the
+    assembler builds [string t] programs with symbolic labels and
+    resolves them to [int t] (absolute instruction addresses). *)
+
+type alu_op = Add | Sub | And | Orr | Eor | Bic | Adc | Sbc
+
+type shift_op = Lsl | Lsr | Asr
+
+type width = Byte | Half | Word
+
+type 'lbl t =
+  | Mov_imm of Reg.t * int  (** rd := imm16 (zero-extended) *)
+  | Movt of Reg.t * int  (** rd\[31:16\] := imm16 *)
+  | Mov of Reg.t * Reg.t
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t  (** rd := rn OP rm; sets flags *)
+  | Alu_imm of alu_op * Reg.t * Reg.t * int  (** rd := rn OP imm12 *)
+  | Shift of shift_op * Reg.t * Reg.t * int  (** rd := rn SHIFT imm5 *)
+  | Mul of Reg.t * Reg.t * Reg.t
+      (** rd := low32 (rn * rm).  Iterative multiplier: 16 cycles for the
+          16×16 products the benchmarks use. *)
+  | Mul_asp of { bits : int; signed : bool; rd : Reg.t; rn : Reg.t; shift : int }
+      (** rd := rd * subword — multiplies rd by the low [bits] bits of
+          rn (sign-extended when [signed]), shifted left by [shift] bits
+          to place the partial product at the subword's significance.
+          Takes [bits] cycles on the iterative multiplier. *)
+  | Add_asv of int * Reg.t * Reg.t * Reg.t
+      (** [Add_asv (lane_bits, rd, rn, rm)]: lane-parallel rd := rn + rm
+          with carries cut every [lane_bits] bits.  Single cycle. *)
+  | Sub_asv of int * Reg.t * Reg.t * Reg.t
+  | Sqrt of Reg.t * Reg.t
+      (** rd := floor(sqrt(rn)) on the unsigned 32-bit pattern — a
+          digit-by-digit (restoring) unit producing one result bit per
+          cycle: 16 cycles for the full 16-bit root. *)
+  | Sqrt_asp of { bits : int; rd : Reg.t; rn : Reg.t }
+      (** anytime square root (the paper's footnote-3 extension): only
+          the [bits] most significant result bits are computed (the
+          rest read as zero), in [bits] cycles.  The digit recurrence
+          makes every computed bit final, so successive SQRT_ASP stages
+          refine monotonically toward the exact root. *)
+  | Cmp of Reg.t * Reg.t  (** flags := rn - rm *)
+  | Cmp_imm of Reg.t * int
+  | Ldr of { width : width; signed : bool; rd : Reg.t; base : Reg.t; off : int }
+  | Str of { width : width; rs : Reg.t; base : Reg.t; off : int }
+  | Ldr_reg of { width : width; signed : bool; rd : Reg.t; base : Reg.t; idx : Reg.t }
+  | Str_reg of { width : width; rs : Reg.t; base : Reg.t; idx : Reg.t }
+  | B of Cond.t * 'lbl
+  | Bl of 'lbl
+  | Bx_lr
+  | Skm of 'lbl  (** latch skim target in the non-volatile SKM register *)
+  | Nop
+  | Halt  (** end of task: output committed *)
+
+val map_target : ('a -> 'b) -> 'a t -> 'b t
+
+val target : 'lbl t -> 'lbl option
+(** The branch/skim target, if the instruction has one. *)
+
+val cycles : taken:bool -> 'lbl t -> int
+(** Latency of one instruction on the 2-stage in-order pipeline.
+    [taken] only matters for control-flow instructions (a taken branch
+    pays a 1-cycle refill).  Memoization and zero-skipping (Section
+    III-A) can shorten multiplies; that short-circuit lives in the
+    machine, not here. *)
+
+val reads_memory : 'lbl t -> bool
+val writes_memory : 'lbl t -> bool
+
+val is_wn_extension : 'lbl t -> bool
+(** True for [Mul_asp], [Add_asv], [Sub_asv] and [Skm] — the dynamic
+    instruction classes Table I reports as "Insn %". *)
+
+val pp : lbl:(Format.formatter -> 'lbl -> unit) -> Format.formatter -> 'lbl t -> unit
+
+val pp_resolved : Format.formatter -> int t -> unit
+(** Disassembly with absolute numeric targets. *)

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Format List

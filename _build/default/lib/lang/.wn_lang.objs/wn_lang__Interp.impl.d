@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Hashtbl List Printf Wn_util

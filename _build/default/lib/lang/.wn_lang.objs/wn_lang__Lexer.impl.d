@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Ast Hashtbl List Printf

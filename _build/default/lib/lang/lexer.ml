@@ -1,0 +1,190 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | TYPE of Ast.ty
+  | KERNEL
+  | FOR
+  | IF
+  | ELSE
+  | ANYTIME
+  | COMMIT
+  | HASH
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | XOR_ASSIGN
+  | AND_ASSIGN
+  | OR_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let token_name = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | TYPE t -> Ast.ty_name t
+  | KERNEL -> "kernel"
+  | FOR -> "for"
+  | IF -> "if"
+  | ELSE -> "else"
+  | ANYTIME -> "anytime"
+  | COMMIT -> "commit"
+  | HASH -> "#"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | XOR_ASSIGN -> "^="
+  | AND_ASSIGN -> "&="
+  | OR_ASSIGN -> "|="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+type located = { tok : token; line : int }
+
+exception Error of string
+
+let fail line msg = raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+let keyword = function
+  | "kernel" -> Some KERNEL
+  | "for" -> Some FOR
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "anytime" -> Some ANYTIME
+  | "commit" -> Some COMMIT
+  | "uint8" -> Some (TYPE Ast.U8)
+  | "uint16" -> Some (TYPE Ast.U16)
+  | "uint32" -> Some (TYPE Ast.U32)
+  | "int16" -> Some (TYPE Ast.I16)
+  | "int32" -> Some (TYPE Ast.I32)
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let rec skip_block_comment i =
+    if i + 1 >= n then fail !line "unterminated comment"
+    else if src.[i] = '\n' then begin
+      incr line;
+      skip_block_comment (i + 1)
+    end
+    else if src.[i] = '*' && src.[i + 1] = '/' then i + 2
+    else skip_block_comment (i + 1)
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        go (eol (i + 1))
+      end
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
+        go (skip_block_comment (i + 2))
+      else if is_digit c then begin
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let j = num i in
+        emit (INT (int_of_string (String.sub src i (j - i))));
+        go j
+      end
+      else if is_ident_start c then begin
+        let rec idn j = if j < n && is_ident_char src.[j] then idn (j + 1) else j in
+        let j = idn i in
+        let word = String.sub src i (j - i) in
+        emit (match keyword word with Some k -> k | None -> IDENT word);
+        go j
+      end
+      else
+        let two tok = emit tok; go (i + 2) in
+        let one tok = emit tok; go (i + 1) in
+        let next = if i + 1 < n then Some src.[i + 1] else None in
+        match (c, next) with
+        | '+', Some '=' -> two PLUS_ASSIGN
+        | '-', Some '=' -> two MINUS_ASSIGN
+        | '^', Some '=' -> two XOR_ASSIGN
+        | '&', Some '=' -> two AND_ASSIGN
+        | '|', Some '=' -> two OR_ASSIGN
+        | '<', Some '<' -> two SHL
+        | '>', Some '>' -> two SHR
+        | '=', Some '=' -> two EQ
+        | '!', Some '=' -> two NE
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '#', _ -> one HASH
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | ';', _ -> one SEMI
+        | ',', _ -> one COMMA
+        | '=', _ -> one ASSIGN
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '&', _ -> one AMP
+        | '|', _ -> one PIPE
+        | '^', _ -> one CARET
+        | '~', _ -> one TILDE
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | _ -> fail !line (Printf.sprintf "illegal character %C" c)
+  in
+  go 0;
+  emit EOF;
+  List.rev !out

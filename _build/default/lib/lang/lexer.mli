@@ -1,0 +1,53 @@
+(** Hand-written lexer for WNC. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | TYPE of Ast.ty
+  | KERNEL
+  | FOR
+  | IF
+  | ELSE
+  | ANYTIME
+  | COMMIT
+  | HASH
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | XOR_ASSIGN
+  | AND_ASSIGN
+  | OR_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+val token_name : token -> string
+
+type located = { tok : token; line : int }
+
+exception Error of string
+
+val tokenize : string -> located list
+(** Raises {!Error} with a line-numbered message on an illegal
+    character.  Comments: [//] to end of line and [/* ... */]. *)

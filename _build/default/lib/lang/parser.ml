@@ -1,0 +1,308 @@
+open Ast
+
+exception Error of string
+
+type state = { mutable toks : Lexer.located list }
+
+let fail_at line msg = raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+let peek st =
+  match st.toks with
+  | [] -> { Lexer.tok = Lexer.EOF; line = 0 }
+  | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t.Lexer.tok <> tok then
+    fail_at t.line
+      (Printf.sprintf "expected %s, found %s" (Lexer.token_name tok)
+         (Lexer.token_name t.tok))
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s -> s
+  | other ->
+      fail_at t.line
+        (Printf.sprintf "expected identifier, found %s" (Lexer.token_name other))
+
+let expect_int st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.INT n -> n
+  | other ->
+      fail_at t.line
+        (Printf.sprintf "expected integer, found %s" (Lexer.token_name other))
+
+(* Expressions: precedence climbing, lowest to highest precedence:
+   or, xor, and, equality, relational, shifts, additive,
+   multiplicative, unary. *)
+
+let binop_of_token = function
+  | Lexer.PIPE -> Some (Or, 0)
+  | Lexer.CARET -> Some (Xor, 1)
+  | Lexer.AMP -> Some (And, 2)
+  | Lexer.EQ -> Some (Eq, 3)
+  | Lexer.NE -> Some (Ne, 3)
+  | Lexer.LT -> Some (Lt, 4)
+  | Lexer.LE -> Some (Le, 4)
+  | Lexer.GT -> Some (Gt, 4)
+  | Lexer.GE -> Some (Ge, 4)
+  | Lexer.SHL -> Some (Shl, 5)
+  | Lexer.SHR -> Some (Shr, 5)
+  | Lexer.PLUS -> Some (Add, 6)
+  | Lexer.MINUS -> Some (Sub, 6)
+  | Lexer.STAR -> Some (Mul, 7)
+  | _ -> None
+
+let rec parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec climb lhs =
+    match binop_of_token (peek st).Lexer.tok with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        climb (Binop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  climb lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.MINUS ->
+      advance st;
+      Neg (parse_unary st)
+  | Lexer.TILDE ->
+      advance st;
+      Bnot (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.INT n -> Int n
+  | Lexer.IDENT "sqrt" when (peek st).Lexer.tok = Lexer.LPAREN ->
+      advance st;
+      let e = parse_binary st 0 in
+      expect st Lexer.RPAREN;
+      Sqrt e
+  | Lexer.IDENT name ->
+      if (peek st).Lexer.tok = Lexer.LBRACKET then begin
+        advance st;
+        let idx = parse_binary st 0 in
+        expect st Lexer.RBRACKET;
+        Load (name, idx)
+      end
+      else Var name
+  | Lexer.LPAREN ->
+      let e = parse_binary st 0 in
+      expect st Lexer.RPAREN;
+      e
+  | other ->
+      fail_at t.line
+        (Printf.sprintf "expected expression, found %s" (Lexer.token_name other))
+
+let parse_expression st = parse_binary st 0
+
+let parse_lhs st =
+  let name = expect_ident st in
+  if (peek st).Lexer.tok = Lexer.LBRACKET then begin
+    advance st;
+    let idx = parse_expression st in
+    expect st Lexer.RBRACKET;
+    Larr (name, idx)
+  end
+  else Lvar name
+
+let rec parse_block st =
+  expect st Lexer.LBRACE;
+  let rec stmts acc =
+    if (peek st).Lexer.tok = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+and parse_stmt st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.TYPE ty ->
+      if ty <> I32 then
+        fail_at t.line "local variables must be int32 (they live in registers)";
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.ASSIGN;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      Decl (name, e)
+  | Lexer.FOR -> parse_for st
+  | Lexer.IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expression st in
+      expect st Lexer.RPAREN;
+      let then_blk = parse_block st in
+      let else_blk =
+        if (peek st).Lexer.tok = Lexer.ELSE then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      If (cond, then_blk, else_blk)
+  | Lexer.ANYTIME ->
+      advance st;
+      let body = parse_block st in
+      expect st Lexer.COMMIT;
+      let commit = parse_block st in
+      Anytime { body; commit }
+  | Lexer.IDENT _ ->
+      let lhs = parse_lhs st in
+      let t2 = next st in
+      let stmt =
+        match t2.Lexer.tok with
+        | Lexer.ASSIGN -> Assign (lhs, parse_expression st)
+        | Lexer.PLUS_ASSIGN -> Aug_assign (lhs, Add, parse_expression st)
+        | Lexer.MINUS_ASSIGN -> Aug_assign (lhs, Sub, parse_expression st)
+        | Lexer.XOR_ASSIGN -> Aug_assign (lhs, Xor, parse_expression st)
+        | Lexer.AND_ASSIGN -> Aug_assign (lhs, And, parse_expression st)
+        | Lexer.OR_ASSIGN -> Aug_assign (lhs, Or, parse_expression st)
+        | other ->
+            fail_at t2.line
+              (Printf.sprintf "expected assignment operator, found %s"
+                 (Lexer.token_name other))
+      in
+      expect st Lexer.SEMI;
+      stmt
+  | other ->
+      fail_at t.line
+        (Printf.sprintf "expected statement, found %s" (Lexer.token_name other))
+
+and parse_for st =
+  let t = next st in
+  assert (t.Lexer.tok = Lexer.FOR);
+  expect st Lexer.LPAREN;
+  let var = expect_ident st in
+  expect st Lexer.ASSIGN;
+  let lo = parse_expression st in
+  expect st Lexer.SEMI;
+  let var2 = expect_ident st in
+  if var2 <> var then fail_at t.line "for-loop condition must test the loop variable";
+  expect st Lexer.LT;
+  let hi = parse_expression st in
+  expect st Lexer.SEMI;
+  let var3 = expect_ident st in
+  if var3 <> var then fail_at t.line "for-loop step must update the loop variable";
+  expect st Lexer.PLUS_ASSIGN;
+  let step = expect_int st in
+  if step <= 0 then fail_at t.line "for-loop step must be positive";
+  expect st Lexer.RPAREN;
+  let body = parse_block st in
+  For { var; lo; hi; step; body }
+
+let parse_pragma st =
+  (* '#' already consumed. *)
+  let t = peek st in
+  let kw = expect_ident st in
+  if kw <> "pragma" then fail_at t.line "expected 'pragma' after '#'";
+  let technique =
+    match expect_ident st with
+    | "asp" -> Asp
+    | "asv" -> Asv
+    | other -> fail_at t.line (Printf.sprintf "unknown pragma %S" other)
+  in
+  let direction =
+    match expect_ident st with
+    | "input" -> Input
+    | "output" -> Output
+    | other -> fail_at t.line (Printf.sprintf "unknown pragma direction %S" other)
+  in
+  expect st Lexer.LPAREN;
+  let array = expect_ident st in
+  let bits = ref None in
+  let provisioned = ref false in
+  let rec args () =
+    match (peek st).Lexer.tok with
+    | Lexer.COMMA ->
+        advance st;
+        (match (next st).Lexer.tok with
+        | Lexer.INT n -> bits := Some n
+        | Lexer.IDENT "provisioned" -> provisioned := true
+        | other ->
+            fail_at t.line
+              (Printf.sprintf "unexpected pragma argument %s"
+                 (Lexer.token_name other)));
+        args ()
+    | _ -> ()
+  in
+  args ();
+  expect st Lexer.RPAREN;
+  if (peek st).Lexer.tok = Lexer.SEMI then advance st;
+  {
+    prag_technique = technique;
+    prag_direction = direction;
+    prag_array = array;
+    prag_bits = !bits;
+    prag_provisioned = !provisioned;
+  }
+
+let parse_global st ty =
+  let name = expect_ident st in
+  let count =
+    if (peek st).Lexer.tok = Lexer.LBRACKET then begin
+      advance st;
+      let n = expect_int st in
+      expect st Lexer.RBRACKET;
+      n
+    end
+    else 1
+  in
+  expect st Lexer.SEMI;
+  { g_name = name; g_ty = ty; g_count = count }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let pragmas = ref [] in
+  let globals = ref [] in
+  let rec preamble () =
+    match (peek st).Lexer.tok with
+    | Lexer.HASH ->
+        advance st;
+        pragmas := parse_pragma st :: !pragmas;
+        preamble ()
+    | Lexer.TYPE ty ->
+        advance st;
+        globals := parse_global st ty :: !globals;
+        preamble ()
+    | _ -> ()
+  in
+  preamble ();
+  expect st Lexer.KERNEL;
+  let kernel_name = expect_ident st in
+  expect st Lexer.LPAREN;
+  expect st Lexer.RPAREN;
+  let body = parse_block st in
+  expect st Lexer.EOF;
+  {
+    pragmas = List.rev !pragmas;
+    globals = List.rev !globals;
+    kernel_name;
+    body;
+  }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  expect st Lexer.EOF;
+  e

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for WNC. *)
+
+exception Error of string
+(** Parse error with a line-numbered message. *)
+
+val parse : string -> Ast.program
+(** Parse a complete WNC source file.  Raises {!Error} (or
+    {!Lexer.Error}) on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

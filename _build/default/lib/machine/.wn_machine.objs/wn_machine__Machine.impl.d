@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cond Instr Memo Memory Option Printf Reg Subword Wn_isa Wn_mem Wn_util

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cond Instr Memo Reg Wn_isa Wn_mem

@@ -1,0 +1,1 @@
+lib/machine/memo.ml: Array

@@ -1,0 +1,269 @@
+open Wn_util
+open Wn_isa
+
+type config = { memo_entries : int option; zero_skip : bool }
+
+let default_config = { memo_entries = None; zero_skip = false }
+
+type t = {
+  program : int Instr.t array;
+  mem : Wn_mem.Memory.t;
+  regs : int array;
+  mutable pcv : int;
+  mutable flag : Cond.flags;
+  mutable halt : bool;
+  mutable skim : int option;
+  memo_table : Memo.t option;
+  zero_skip : bool;
+  mutable retired : int;
+  mutable wn_retired : int;
+  mutable cycles : int;
+}
+
+let create ?(config = default_config) ~program ~mem () =
+  {
+    program;
+    mem;
+    regs = Array.make Reg.count 0;
+    pcv = 0;
+    flag = Cond.initial_flags;
+    halt = false;
+    skim = None;
+    memo_table = Option.map (fun entries -> Memo.create ~entries ()) config.memo_entries;
+    zero_skip = config.zero_skip;
+    retired = 0;
+    wn_retired = 0;
+    cycles = 0;
+  }
+
+let program t = t.program
+let mem t = t.mem
+let pc t = t.pcv
+let set_pc t v = t.pcv <- v
+
+let u32 v = v land 0xFFFF_FFFF
+
+let reg t r = t.regs.(Reg.index r)
+let set_reg t r v = t.regs.(Reg.index r) <- u32 v
+
+let flags t = t.flag
+let halted t = t.halt
+
+let skim_target t = t.skim
+
+let take_skim t =
+  let s = t.skim in
+  t.skim <- None;
+  s
+
+let clear_skim t = t.skim <- None
+
+let reset_for_new_task t =
+  t.pcv <- 0;
+  t.halt <- false;
+  t.skim <- None;
+  Array.fill t.regs 0 Reg.count 0;
+  t.flag <- Cond.initial_flags
+
+type access = { addr : int; bytes : int }
+
+type step_result = {
+  instr : int Instr.t;
+  cycles : int;
+  read : access option;
+  wrote : access option;
+  memo_hit : bool;
+  zero_skipped : bool;
+}
+
+let signed32 v = Subword.to_signed ~bits:32 v
+
+(* Flag computation for compares: NZCV of rn - rm on the 32-bit
+   datapath. *)
+let compare_flags a b =
+  let sa = signed32 a and sb = signed32 b in
+  let result = u32 (sa - sb) in
+  let n = result land 0x8000_0000 <> 0 in
+  {
+    Cond.n;
+    z = result = 0;
+    c = a >= b;
+    (* signed overflow: operands of differing sign and the truncated
+       result's sign differs from the minuend's *)
+    v = (sa < 0) <> (sb < 0) && (sa < 0) <> n;
+  }
+
+let alu_eval op a b =
+  match (op : Instr.alu_op) with
+  | Add -> a + b
+  | Sub -> a - b
+  | And -> a land b
+  | Orr -> a lor b
+  | Eor -> a lxor b
+  | Bic -> a land lnot b
+  | Adc -> a + b (* carry-in unused: the compiler never emits Adc/Sbc chains *)
+  | Sbc -> a - b
+
+let load t (width : Instr.width) ~signed addr =
+  let open Wn_mem in
+  match (width, signed) with
+  | Instr.Byte, false -> (Memory.read8 t.mem addr, 1)
+  | Instr.Byte, true -> (u32 (Memory.read8_signed t.mem addr), 1)
+  | Instr.Half, false -> (Memory.read16 t.mem addr, 2)
+  | Instr.Half, true -> (u32 (Memory.read16_signed t.mem addr), 2)
+  | Instr.Word, _ -> (Memory.read32 t.mem addr, 4)
+
+let store t (width : Instr.width) addr v =
+  let open Wn_mem in
+  match width with
+  | Instr.Byte -> (Memory.write8 t.mem addr v, 1)
+  | Instr.Half -> (Memory.write16 t.mem addr v, 2)
+  | Instr.Word -> (Memory.write32 t.mem addr v, 4)
+
+(* Digit-by-digit (restoring) square root: decide result bits from the
+   most significant down; each decision is final, so computing only the
+   top [bits] of the 16-bit root is exact truncation of the full
+   root. *)
+let isqrt_top ~bits n =
+  let r = ref 0 in
+  for bitpos = 15 downto 16 - bits do
+    let candidate = !r lor (1 lsl bitpos) in
+    if candidate * candidate <= n then r := candidate
+  done;
+  !r
+
+(* Multiply through the zero-skip / memoization front end.  Returns the
+   raw product and the latency actually paid. *)
+let multiply t ~full_cycles a b =
+  if t.zero_skip && (a = 0 || b = 0) then (0, 1, false, true)
+  else
+    match t.memo_table with
+    | Some table -> (
+        match Memo.lookup table ~a ~b with
+        | Some r -> (r, 1, true, false)
+        | None ->
+            let r = u32 (a * b) in
+            Memo.insert table ~a ~b ~result:r;
+            (r, full_cycles, false, false))
+    | None -> (u32 (a * b), full_cycles, false, false)
+
+let step t =
+  if t.halt then failwith "Machine.step: halted";
+  if t.pcv < 0 || t.pcv >= Array.length t.program then
+    failwith (Printf.sprintf "Machine.step: PC %d out of program" t.pcv);
+  let i = t.program.(t.pcv) in
+  let next = t.pcv + 1 in
+  let nothing = (None, None, false, false) in
+  let rd_set r v = set_reg t r v in
+  let rv r = reg t r in
+  let default_cycles = Instr.cycles ~taken:false i in
+  let cycles = ref default_cycles in
+  let pc' = ref next in
+  let effects = ref nothing in
+  (match i with
+  | Instr.Nop -> ()
+  | Instr.Halt -> t.halt <- true
+  | Instr.Mov_imm (rd, imm) -> rd_set rd imm
+  | Instr.Movt (rd, imm) -> rd_set rd ((rv rd land 0xFFFF) lor (imm lsl 16))
+  | Instr.Mov (rd, rn) -> rd_set rd (rv rn)
+  | Instr.Alu (op, rd, rn, rm) -> rd_set rd (alu_eval op (rv rn) (rv rm))
+  | Instr.Alu_imm (op, rd, rn, imm) -> rd_set rd (alu_eval op (rv rn) imm)
+  | Instr.Shift (op, rd, rn, sh) ->
+      let v = rv rn in
+      let r =
+        match op with
+        | Instr.Lsl -> v lsl sh
+        | Instr.Lsr -> v lsr sh
+        | Instr.Asr -> signed32 v asr sh
+      in
+      rd_set rd r
+  | Instr.Mul (rd, rn, rm) ->
+      let r, c, hit, zs = multiply t ~full_cycles:16 (rv rn) (rv rm) in
+      rd_set rd r;
+      cycles := c;
+      effects := (None, None, hit, zs)
+  | Instr.Mul_asp { bits; signed; rd; rn; shift } ->
+      (* rd := rd * subword, shifted into place.  The subword sits in
+         the low [bits] bits of rn (a byte load or shift put it there);
+         the most significant subword of signed data multiplies
+         signed. *)
+      let sub_raw = Subword.truncate ~bits (rv rn) in
+      let multiplicand = signed32 (rv rd) in
+      let sub = if signed then Subword.to_signed ~bits sub_raw else sub_raw in
+      let a = u32 multiplicand and b = u32 sub in
+      (* The memo table and zero-skip front end decide the latency; the
+         product itself is recomputed signed (the cached pattern equals
+         it bit-for-bit). *)
+      let _pattern, c, hit, zs = multiply t ~full_cycles:bits a b in
+      let product = multiplicand * sub in
+      rd_set rd (u32 (product lsl shift));
+      cycles := c;
+      effects := (None, None, hit, zs)
+  | Instr.Add_asv (w, rd, rn, rm) ->
+      rd_set rd (Subword.lanes_add ~lane_bits:w ~width:32 (rv rn) (rv rm))
+  | Instr.Sub_asv (w, rd, rn, rm) ->
+      rd_set rd (Subword.lanes_sub ~lane_bits:w ~width:32 (rv rn) (rv rm))
+  | Instr.Sqrt (rd, rn) -> rd_set rd (isqrt_top ~bits:16 (rv rn))
+  | Instr.Sqrt_asp { bits; rd; rn } -> rd_set rd (isqrt_top ~bits (rv rn))
+  | Instr.Cmp (rn, rm) -> t.flag <- compare_flags (rv rn) (rv rm)
+  | Instr.Cmp_imm (rn, imm) -> t.flag <- compare_flags (rv rn) imm
+  | Instr.Ldr { width; signed; rd; base; off } ->
+      let addr = rv base + off in
+      let v, bytes = load t width ~signed addr in
+      rd_set rd v;
+      effects := (Some { addr; bytes }, None, false, false)
+  | Instr.Str { width; rs; base; off } ->
+      let addr = rv base + off in
+      let (), bytes = store t width addr (rv rs) in
+      effects := (None, Some { addr; bytes }, false, false)
+  | Instr.Ldr_reg { width; signed; rd; base; idx } ->
+      let addr = rv base + rv idx in
+      let v, bytes = load t width ~signed addr in
+      rd_set rd v;
+      effects := (Some { addr; bytes }, None, false, false)
+  | Instr.Str_reg { width; rs; base; idx } ->
+      let addr = rv base + rv idx in
+      let (), bytes = store t width addr (rv rs) in
+      effects := (None, Some { addr; bytes }, false, false)
+  | Instr.B (c, tgt) ->
+      if Cond.holds c t.flag then begin
+        pc' := tgt;
+        cycles := Instr.cycles ~taken:true i
+      end
+  | Instr.Bl tgt ->
+      set_reg t Reg.lr next;
+      pc' := tgt
+  | Instr.Bx_lr -> pc' := rv Reg.lr
+  | Instr.Skm tgt -> t.skim <- Some tgt);
+  t.pcv <- !pc';
+  t.retired <- t.retired + 1;
+  if Instr.is_wn_extension i then t.wn_retired <- t.wn_retired + 1;
+  t.cycles <- t.cycles + !cycles;
+  let read, wrote, memo_hit, zero_skipped = !effects in
+  { instr = i; cycles = !cycles; read; wrote; memo_hit; zero_skipped }
+
+type register_file = { saved_regs : int array; saved_flags : Cond.flags; saved_pc : int }
+
+let capture_registers t =
+  { saved_regs = Array.copy t.regs; saved_flags = t.flag; saved_pc = t.pcv }
+
+let restore_registers t rf =
+  Array.blit rf.saved_regs 0 t.regs 0 Reg.count;
+  t.flag <- rf.saved_flags;
+  t.pcv <- rf.saved_pc
+
+let scrub_volatile t =
+  Array.fill t.regs 0 Reg.count 0;
+  t.flag <- Cond.initial_flags;
+  t.pcv <- 0
+
+let instructions_retired (t : t) = t.retired
+let wn_instructions t = t.wn_retired
+let cycles_executed (t : t) = t.cycles
+let memo t = t.memo_table
+
+let reset_stats t =
+  t.retired <- 0;
+  t.wn_retired <- 0;
+  t.cycles <- 0;
+  Option.iter Memo.clear t.memo_table

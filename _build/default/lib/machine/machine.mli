@@ -1,0 +1,100 @@
+(** Cycle-accurate WN-32 core.
+
+    Models the paper's target: a Cortex M0+-class 2-stage in-order core
+    at a 32-bit datapath with no caches or branch prediction, an
+    iterative multiplier (16 cycles full precision, [bits] cycles for a
+    [MUL_ASP<bits>] stage), the subword-vector ALU of Figure 8, an
+    optional multiply memoization table with zero-skipping, and the
+    non-volatile SKM register that implements skim points.
+
+    The machine executes one instruction per [step] and reports its
+    latency plus the memory effects the intermittency runtimes need
+    (Clank tracks read/write sets for idempotency violations). *)
+
+open Wn_isa
+
+type config = {
+  memo_entries : int option;  (** [Some n]: enable an n-entry memo table *)
+  zero_skip : bool;  (** 1-cycle result when a multiply operand is zero *)
+}
+
+val default_config : config
+(** No memoization, no zero skipping — the paper's baseline core. *)
+
+type t
+
+val create :
+  ?config:config -> program:int Instr.t array -> mem:Wn_mem.Memory.t -> unit -> t
+(** The program is immutable instruction memory (Harvard style; the
+    data memory [mem] holds only data).  The PC starts at 0. *)
+
+val program : t -> int Instr.t array
+val mem : t -> Wn_mem.Memory.t
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val reg : t -> Reg.t -> int
+(** Register contents as an unsigned 32-bit pattern. *)
+
+val set_reg : t -> Reg.t -> int -> unit
+
+val flags : t -> Cond.flags
+
+val halted : t -> bool
+
+val skim_target : t -> int option
+(** Contents of the non-volatile SKM register, set by the [Skm]
+    instruction and surviving power outages. *)
+
+val take_skim : t -> int option
+(** Read and clear the SKM register (done once on restore). *)
+
+val clear_skim : t -> unit
+
+val reset_for_new_task : t -> unit
+(** Prepare the core for the next input sample: PC back to 0, halt
+    latch and SKM register cleared, registers scrubbed.  Statistics and
+    the memoization table persist across tasks. *)
+
+type access = { addr : int; bytes : int }
+
+type step_result = {
+  instr : int Instr.t;
+  cycles : int;  (** actual latency, after memo/zero-skip shortcuts *)
+  read : access option;
+  wrote : access option;
+  memo_hit : bool;
+  zero_skipped : bool;
+}
+
+val step : t -> step_result
+(** Execute the instruction at the PC.  Raises [Failure] if the machine
+    is already halted or the PC is outside the program. *)
+
+(** {2 State capture — checkpointing and volatility} *)
+
+type register_file
+
+val capture_registers : t -> register_file
+(** Registers, flags and PC — what a Clank checkpoint saves to NVM. *)
+
+val restore_registers : t -> register_file -> unit
+
+val scrub_volatile : t -> unit
+(** Model a power loss on a volatile core: registers and flags are
+    cleared, PC reset to 0.  The SKM register, data memory (FRAM) and
+    halt latch survive. *)
+
+(** {2 Statistics} *)
+
+val instructions_retired : t -> int
+val wn_instructions : t -> int
+(** Dynamic count of WN-extension instructions (Table I's "Insn %"). *)
+
+val cycles_executed : t -> int
+(** Active cycles spent executing (excludes powered-off time). *)
+
+val memo : t -> Memo.t option
+
+val reset_stats : t -> unit

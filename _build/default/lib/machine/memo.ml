@@ -1,0 +1,54 @@
+type entry = { tag_a : int; tag_b : int; result : int }
+
+type t = {
+  slots : entry option array;
+  index_bits : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(entries = 16) () =
+  if not (is_power_of_two entries) then invalid_arg "Memo.create";
+  let rec log2 n = if n = 1 then 0 else 1 + log2 (n / 2) in
+  {
+    slots = Array.make entries None;
+    index_bits = log2 entries;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let entries t = Array.length t.slots
+
+(* Index: low bits of each operand concatenated, as in the paper's
+   "concatenation of the two least significant bits of both operands"
+   for the 16-entry table.  Tag: the remaining operand bits. *)
+let split_key t ~a ~b =
+  let half = t.index_bits / 2 in
+  let rest = t.index_bits - half in
+  let mask_a = (1 lsl half) - 1 and mask_b = (1 lsl rest) - 1 in
+  let index = ((a land mask_a) lsl rest) lor (b land mask_b) in
+  (index, a lsr half, b lsr rest)
+
+let lookup t ~a ~b =
+  let index, tag_a, tag_b = split_key t ~a ~b in
+  match t.slots.(index) with
+  | Some e when e.tag_a = tag_a && e.tag_b = tag_b ->
+      t.hit_count <- t.hit_count + 1;
+      Some e.result
+  | Some _ | None ->
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let insert t ~a ~b ~result =
+  let index, tag_a, tag_b = split_key t ~a ~b in
+  t.slots.(index) <- Some { tag_a; tag_b; result }
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.hit_count <- 0;
+  t.miss_count <- 0

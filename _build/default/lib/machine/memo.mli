@@ -1,0 +1,27 @@
+(** Direct-mapped memoization table for multiply results (Section V-E).
+
+    The paper uses a 16-entry table indexed by the concatenation of the
+    two least-significant bits of each operand, with the remaining
+    operand bits as tag.  A hit returns the product in a single cycle
+    instead of the 4/8/16 cycles of an iterative multiply.
+    Multiplications with a zero operand are handled by zero-skipping and
+    are never installed in the table. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] must be a power of two (default 16). *)
+
+val entries : t -> int
+
+val lookup : t -> a:int -> b:int -> int option
+(** Cached product of the operand pair, if present.  Counts a hit or a
+    miss. *)
+
+val insert : t -> a:int -> b:int -> result:int -> unit
+
+val hits : t -> int
+val misses : t -> int
+
+val clear : t -> unit
+(** Empty the table and reset counters. *)

@@ -1,0 +1,1 @@
+lib/mem/memory.ml: Bytes Char Int32 Printf Wn_util

@@ -1,0 +1,76 @@
+type t = {
+  store : Bytes.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Memory.create";
+  { store = Bytes.make size '\000'; reads = 0; writes = 0 }
+
+let size t = Bytes.length t.store
+
+let check t addr len name =
+  if addr < 0 || addr + len > Bytes.length t.store then
+    invalid_arg (Printf.sprintf "Memory.%s: address %d out of bounds" name addr)
+
+let read8 t addr =
+  check t addr 1 "read8";
+  t.reads <- t.reads + 1;
+  Char.code (Bytes.get t.store addr)
+
+let read8_signed t addr = Wn_util.Subword.sign_extend ~bits:8 (read8 t addr)
+
+let read16 t addr =
+  check t addr 2 "read16";
+  t.reads <- t.reads + 1;
+  Bytes.get_uint16_le t.store addr
+
+let read16_signed t addr = Wn_util.Subword.sign_extend ~bits:16 (read16 t addr)
+
+let read32 t addr =
+  check t addr 4 "read32";
+  t.reads <- t.reads + 1;
+  Int32.to_int (Bytes.get_int32_le t.store addr) land 0xFFFF_FFFF
+
+let write8 t addr v =
+  check t addr 1 "write8";
+  t.writes <- t.writes + 1;
+  Bytes.set t.store addr (Char.chr (v land 0xFF))
+
+let write16 t addr v =
+  check t addr 2 "write16";
+  t.writes <- t.writes + 1;
+  Bytes.set_uint16_le t.store addr (v land 0xFFFF)
+
+let write32 t addr v =
+  check t addr 4 "write32";
+  t.writes <- t.writes + 1;
+  Bytes.set_int32_le t.store addr (Int32.of_int v)
+
+let read_stats t = (t.reads, t.writes)
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0
+
+let snapshot t = Bytes.copy t.store
+
+let restore t snap =
+  if Bytes.length snap <> Bytes.length t.store then
+    invalid_arg "Memory.restore: size mismatch";
+  Bytes.blit snap 0 t.store 0 (Bytes.length snap)
+
+let blit_in t ~addr data =
+  check t addr (Bytes.length data) "blit_in";
+  Bytes.blit data 0 t.store addr (Bytes.length data)
+
+let region t ~addr ~len =
+  check t addr len "region";
+  Bytes.sub t.store addr len
+
+let fill t ~addr ~len v =
+  check t addr len "fill";
+  Bytes.fill t.store addr len (Char.chr (v land 0xFF))
+
+let clear t = Bytes.fill t.store 0 (Bytes.length t.store) '\000'

@@ -1,0 +1,50 @@
+(** Byte-addressable data memory, little-endian.
+
+    Energy-harvesting platforms pair a small SRAM/FRAM with the core; the
+    paper's two system models differ in what survives an outage:
+    checkpoint-based volatile processors keep *main memory* non-volatile
+    (FRAM) but lose registers, while non-volatile processors keep
+    everything.  This module is plain storage; volatility policy lives in
+    [wn.runtime].  Reads and writes are counted for the evaluation's
+    instruction-mix statistics. *)
+
+type t
+
+val create : size:int -> t
+(** Zero-initialised memory of [size] bytes. *)
+
+val size : t -> int
+
+val read8 : t -> int -> int
+val read8_signed : t -> int -> int
+val read16 : t -> int -> int
+val read16_signed : t -> int -> int
+val read32 : t -> int -> int
+(** Unsigned 32-bit pattern (fits an OCaml int). Addresses need not be
+    aligned.  All reads/writes raise [Invalid_argument] out of bounds. *)
+
+val write8 : t -> int -> int -> unit
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> int -> unit
+
+val read_stats : t -> int * int
+(** [(reads, writes)] performed since creation or [reset_stats]. *)
+
+val reset_stats : t -> unit
+
+val snapshot : t -> bytes
+(** A copy of the full contents (checkpoint support). *)
+
+val restore : t -> bytes -> unit
+(** Overwrite contents from a snapshot of equal size. *)
+
+val blit_in : t -> addr:int -> bytes -> unit
+(** Load raw bytes at [addr] (program data segment initialisation). *)
+
+val region : t -> addr:int -> len:int -> bytes
+(** Copy of the [len] bytes starting at [addr]. *)
+
+val fill : t -> addr:int -> len:int -> int -> unit
+(** Fill a region with a byte value. *)
+
+val clear : t -> unit

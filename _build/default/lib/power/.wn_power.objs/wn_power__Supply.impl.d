@@ -1,0 +1,1 @@
+lib/power/supply.ml: Capacitor Float Trace

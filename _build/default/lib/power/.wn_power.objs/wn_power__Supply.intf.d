@@ -1,0 +1,1 @@
+lib/power/supply.mli: Capacitor Trace

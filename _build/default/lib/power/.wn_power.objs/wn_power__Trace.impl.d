@@ -1,0 +1,1 @@
+lib/power/trace.ml: Array Float List Wn_util

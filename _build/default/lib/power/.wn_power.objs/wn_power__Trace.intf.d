@@ -1,0 +1,1 @@
+lib/power/trace.mli:

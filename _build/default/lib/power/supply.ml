@@ -1,0 +1,93 @@
+type t = {
+  clock_hz : float;
+  cycle_energy : float;
+  trace : Trace.t;
+  capacitor : Capacitor.t;
+  infinite : bool;
+  mutable cycles : int;
+  mutable outage_count : int;
+  mutable consumed : float;
+}
+
+let default_clock_hz = 24e6
+
+let default_cycle_energy = 1.0e-9
+
+let create ?(clock_hz = default_clock_hz) ?(cycle_energy = default_cycle_energy)
+    ?(start_full = true) ~trace ~capacitor () =
+  if clock_hz <= 0.0 || cycle_energy < 0.0 then invalid_arg "Supply.create";
+  if start_full then Capacitor.set_full capacitor;
+  {
+    clock_hz;
+    cycle_energy;
+    trace;
+    capacitor;
+    infinite = false;
+    cycles = 0;
+    outage_count = 0;
+    consumed = 0.0;
+  }
+
+let always_on () =
+  {
+    clock_hz = default_clock_hz;
+    cycle_energy = default_cycle_energy;
+    trace = Trace.constant ~power:1.0 ~duration_s:1.0;
+    capacitor = Capacitor.create ();
+    infinite = true;
+    cycles = 0;
+    outage_count = 0;
+    consumed = 0.0;
+  }
+
+let now_cycles t = t.cycles
+
+let now_s t = float_of_int t.cycles /. t.clock_hz
+
+let is_on t = t.infinite || Capacitor.is_on t.capacitor
+
+let cycles_per_tick t =
+  int_of_float (Float.round (t.clock_hz *. Trace.sample_period_s))
+
+let current_tick t = t.cycles / cycles_per_tick t
+
+let consume t ~cycles =
+  if cycles < 0 then invalid_arg "Supply.consume";
+  let tick = current_tick t in
+  t.cycles <- t.cycles + cycles;
+  let joules = float_of_int cycles *. t.cycle_energy in
+  t.consumed <- t.consumed +. joules;
+  if t.infinite then true
+  else begin
+    let dt = float_of_int cycles /. t.clock_hz in
+    Capacitor.harvest t.capacitor (Trace.power_at_tick t.trace tick *. dt);
+    Capacitor.drain t.capacitor joules;
+    let on = Capacitor.is_on t.capacitor in
+    if not on then t.outage_count <- t.outage_count + 1;
+    on
+  end
+
+let wait_for_power t =
+  if is_on t then 0
+  else begin
+    let per_tick = cycles_per_tick t in
+    let start = t.cycles in
+    let limit = t.cycles + int_of_float (600.0 *. t.clock_hz) in
+    let rec charge () =
+      if is_on t then t.cycles - start
+      else if t.cycles > limit then
+        failwith "Supply.wait_for_power: trace cannot recharge the capacitor"
+      else begin
+        let tick = current_tick t in
+        Capacitor.harvest t.capacitor
+          (Trace.power_at_tick t.trace tick *. Trace.sample_period_s);
+        t.cycles <- t.cycles + per_tick;
+        charge ()
+      end
+    in
+    charge ()
+  end
+
+let outages t = t.outage_count
+
+let energy_consumed t = t.consumed

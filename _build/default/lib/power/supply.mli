@@ -1,0 +1,58 @@
+(** Intermittent power supply: a harvesting trace feeding a capacitor
+    that powers the core.
+
+    The supply keeps the global wall clock in CPU cycles at the paper's
+    24 MHz.  While the core runs it drains a constant energy per cycle
+    (validated constant-per-instruction on an MSP430 in the paper;
+    per-cycle makes the 16-cycle iterative multiply proportionally more
+    expensive, see DESIGN.md) and simultaneously integrates harvested
+    energy.  When the capacitor sags below brown-out the core loses
+    power; [wait_for_power] advances the clock until the turn-on
+    threshold is reached again. *)
+
+type t
+
+val default_clock_hz : float
+(** 24 MHz, the paper's operating frequency. *)
+
+val default_cycle_energy : float
+(** 1 nJ per cycle — MSP430-class energy per cycle, calibrated so a
+    full 10 µF charge sustains about 15 k cycles (≈ 0.6 ms at 24 MHz),
+    the paper's "up to a few milliseconds at a time" regime. *)
+
+val create :
+  ?clock_hz:float ->
+  ?cycle_energy:float ->
+  ?start_full:bool ->
+  trace:Trace.t ->
+  capacitor:Capacitor.t ->
+  unit ->
+  t
+
+val always_on : unit -> t
+(** A supply that never browns out (for functional testing and for the
+    continuously-powered baseline). *)
+
+val now_cycles : t -> int
+(** Wall-clock cycles elapsed, including time spent powered off. *)
+
+val now_s : t -> float
+
+val is_on : t -> bool
+
+val consume : t -> cycles:int -> bool
+(** Run the core for [cycles] cycles: advances the clock, drains the
+    capacitor, integrates harvest.  Returns [false] if the supply
+    browned out (the core lost power at the end of those cycles). *)
+
+val wait_for_power : t -> int
+(** Block (advance the clock) until the capacitor recharges to turn-on;
+    returns the number of cycles spent off.  Raises [Failure] if the
+    trace cannot recharge the capacitor within a 10-minute simulated
+    window (a starved supply). *)
+
+val outages : t -> int
+(** Number of brown-outs observed so far. *)
+
+val energy_consumed : t -> float
+(** Total joules drained by the core. *)

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Hashtbl Instr Machine Supply Wn_isa Wn_machine Wn_power

@@ -1,0 +1,250 @@
+open Wn_isa
+open Wn_machine
+open Wn_power
+
+type nvp_config = { nvp_restore_cycles : int }
+
+let default_nvp = { nvp_restore_cycles = 8 }
+
+type clank_config = {
+  watchdog_period : int;
+  buffer_entries : int;
+  checkpoint_cycles : int;
+  clank_restore_cycles : int;
+}
+
+let default_clank =
+  {
+    watchdog_period = 8_000;
+    buffer_entries = 2_048;
+    checkpoint_cycles = 40;
+    clank_restore_cycles = 40;
+  }
+
+type policy = Always_on | Nvp of nvp_config | Clank of clank_config
+
+let policy_name = function
+  | Always_on -> "always-on"
+  | Nvp _ -> "nvp"
+  | Clank _ -> "clank"
+
+type outcome = {
+  completed : bool;
+  skimmed : bool;
+  first_skim_active : int option;
+  wall_cycles : int;
+  active_cycles : int;
+  overhead_cycles : int;
+  reexecuted_instructions : int;
+  outage_count : int;
+  checkpoint_count : int;
+  retired : int;
+}
+
+type snapshot_hook = active_cycles:int -> wall_cycles:int -> unit
+
+(* Clank epoch state: the last checkpoint plus the read-first/write
+   sets used to detect idempotency (write-after-read) violations at
+   word granularity.  [written] only holds words *fully* overwritten
+   this epoch: a partial (byte/halfword) store must not suppress read
+   tracking of its sibling bytes, or a later write to them would escape
+   WAR detection and re-execution would read the new value. *)
+type clank_state = {
+  mutable checkpoint : Machine.register_file;
+  read_first : (int, unit) Hashtbl.t;
+  written : (int, unit) Hashtbl.t;
+  mutable since_ckpt_cycles : int;
+  mutable since_ckpt_retired : int;
+}
+
+let word_of_addr addr = addr lsr 2
+
+(* Address a store at the current PC would write, computed from live
+   registers, so a violation can trigger a checkpoint *before* the
+   violating write commits. *)
+let pending_store_word machine =
+  let p = Machine.program machine in
+  let pc = Machine.pc machine in
+  if pc < 0 || pc >= Array.length p then None
+  else
+    match p.(pc) with
+    | Instr.Str { base; off; _ } ->
+        Some (word_of_addr (Machine.reg machine base + off))
+    | Instr.Str_reg { base; idx; _ } ->
+        Some (word_of_addr (Machine.reg machine base + Machine.reg machine idx))
+    | _ -> None
+
+let run ?(policy = Always_on) ?(max_wall_cycles = 20_000_000_000)
+    ?(snapshot_every = 10_000) ?snapshot ?(halt_at_skim = false) ~machine
+    ~supply () =
+  let wall_start = Supply.now_cycles supply in
+  let retired_start = Machine.instructions_retired machine in
+  let active = ref 0 in
+  let overhead = ref 0 in
+  let reexecuted = ref 0 in
+  let outage_count = ref 0 in
+  let checkpoint_count = ref 0 in
+  let skimmed = ref false in
+  let first_skim_active = ref None in
+  let next_snapshot = ref snapshot_every in
+  let take_snapshot () =
+    match snapshot with
+    | None -> ()
+    | Some hook ->
+        hook ~active_cycles:!active
+          ~wall_cycles:(Supply.now_cycles supply - wall_start)
+  in
+  let spend_overhead cycles =
+    overhead := !overhead + cycles;
+    ignore (Supply.consume supply ~cycles)
+  in
+  let clank =
+    match policy with
+    | Clank _ ->
+        Some
+          {
+            checkpoint = Machine.capture_registers machine;
+            read_first = Hashtbl.create 64;
+            written = Hashtbl.create 64;
+            since_ckpt_cycles = 0;
+            since_ckpt_retired = 0;
+          }
+    | Always_on | Nvp _ -> None
+  in
+  let do_checkpoint cfg st =
+    spend_overhead cfg.checkpoint_cycles;
+    st.checkpoint <- Machine.capture_registers machine;
+    Hashtbl.reset st.read_first;
+    Hashtbl.reset st.written;
+    st.since_ckpt_cycles <- 0;
+    st.since_ckpt_retired <- 0;
+    incr checkpoint_count
+  in
+  let set_size tbl = Hashtbl.length tbl in
+  let track_access cfg st ~read word =
+    let tbl = if read then st.read_first else st.written in
+    if not (Hashtbl.mem tbl word) then begin
+      if set_size st.read_first + set_size st.written >= cfg.buffer_entries
+      then do_checkpoint cfg st;
+      let tbl = if read then st.read_first else st.written in
+      Hashtbl.replace tbl word ()
+    end
+  in
+  let handle_skim_jump () =
+    match Machine.take_skim machine with
+    | Some target ->
+        Machine.set_pc machine target;
+        skimmed := true;
+        true
+    | None -> false
+  in
+  let handle_outage () =
+    incr outage_count;
+    ignore (Supply.wait_for_power supply);
+    match policy with
+    | Always_on | Nvp _ ->
+        let restore =
+          match policy with Nvp c -> c.nvp_restore_cycles | _ -> 0
+        in
+        spend_overhead restore;
+        (* NVP keeps all state; just honour a pending skim point. *)
+        ignore (handle_skim_jump ())
+    | Clank cfg -> (
+        spend_overhead cfg.clank_restore_cycles;
+        match clank with
+        | None -> assert false
+        | Some st ->
+            if handle_skim_jump () then begin
+              (* The skim target's code depends only on NVM state, so a
+                 scrubbed register file is safe; start a fresh epoch
+                 there. *)
+              let pc = Machine.pc machine in
+              Machine.scrub_volatile machine;
+              Machine.set_pc machine pc;
+              st.checkpoint <- Machine.capture_registers machine
+            end
+            else begin
+              (* Roll back: everything since the checkpoint re-executes. *)
+              reexecuted := !reexecuted + st.since_ckpt_retired;
+              Machine.restore_registers machine st.checkpoint
+            end;
+            Hashtbl.reset st.read_first;
+            Hashtbl.reset st.written;
+            st.since_ckpt_cycles <- 0;
+            st.since_ckpt_retired <- 0)
+  in
+  let wall_elapsed () = Supply.now_cycles supply - wall_start in
+  let rec loop () =
+    if Machine.halted machine then true
+    else if wall_elapsed () > max_wall_cycles then false
+    else if not (Supply.is_on supply) then begin
+      handle_outage ();
+      loop ()
+    end
+    else begin
+      (match clank with
+      | Some st ->
+          let cfg =
+            match policy with Clank c -> c | _ -> assert false
+          in
+          if st.since_ckpt_cycles >= cfg.watchdog_period then
+            do_checkpoint cfg st
+          else begin
+            (* Idempotency violation: about to write a word that was
+               read first in this epoch. *)
+            match pending_store_word machine with
+            | Some word when Hashtbl.mem st.read_first word ->
+                do_checkpoint cfg st
+            | Some _ | None -> ()
+          end
+      | None -> ());
+      let res = Machine.step machine in
+      active := !active + res.cycles;
+      ignore (Supply.consume supply ~cycles:res.cycles);
+      (match clank with
+      | Some st ->
+          let cfg = match policy with Clank c -> c | _ -> assert false in
+          st.since_ckpt_cycles <- st.since_ckpt_cycles + res.cycles;
+          st.since_ckpt_retired <- st.since_ckpt_retired + 1;
+          (match res.read with
+          | Some { addr; _ } ->
+              let w = word_of_addr addr in
+              (* Skip only reads dominated by a *full-word* write, which
+                 re-execution is guaranteed to reproduce. *)
+              if not (Hashtbl.mem st.written w) then
+                track_access cfg st ~read:true w
+          | None -> ());
+          (match res.wrote with
+          | Some { addr; bytes } when bytes = 4 ->
+              track_access cfg st ~read:false (word_of_addr addr)
+          | Some _ | None -> ())
+      | None -> ());
+      (match res.instr with
+      | Instr.Skm _ ->
+          if !first_skim_active = None then first_skim_active := Some !active;
+          if halt_at_skim then
+            (* Model an outage at this very instant: take the skim jump
+               and commit the earliest available output. *)
+            ignore (handle_skim_jump ())
+      | _ -> ());
+      if !active >= !next_snapshot then begin
+        take_snapshot ();
+        next_snapshot := !next_snapshot + snapshot_every
+      end;
+      loop ()
+    end
+  in
+  let completed = loop () in
+  take_snapshot ();
+  {
+    completed;
+    skimmed = !skimmed;
+    first_skim_active = !first_skim_active;
+    wall_cycles = wall_elapsed ();
+    active_cycles = !active;
+    overhead_cycles = !overhead;
+    reexecuted_instructions = !reexecuted;
+    outage_count = !outage_count;
+    checkpoint_count = !checkpoint_count;
+    retired = Machine.instructions_retired machine - retired_start;
+  }

@@ -1,0 +1,82 @@
+(** Intermittent execution of one task under a power supply.
+
+    Three system models, matching the paper's evaluation:
+
+    - [Always_on] — continuously powered (the reference used to define
+      baseline runtime and the runtime–quality curves of Figure 9);
+    - [Nvp] — non-volatile processor with the backup-every-cycle policy:
+      architectural state survives outages, execution resumes in place
+      after a small wake-up latency (Section V-C);
+    - [Clank] — checkpoint-based volatile processor: registers are lost
+      on an outage and recovered from the last checkpoint in NVM.
+      Checkpoints are triggered by idempotency (write-after-read)
+      violations, by read/write-set buffer overflow, and by a periodic
+      watchdog, as in Clank (Section IV).
+
+    Skim points: on restore from an outage, if the task latched a skim
+    target with [SKM], the executor jumps there instead of resuming,
+    committing the approximate result as-is (Section III-C). *)
+
+type nvp_config = { nvp_restore_cycles : int }
+
+val default_nvp : nvp_config
+(** 8-cycle wake-up. *)
+
+type clank_config = {
+  watchdog_period : int;  (** cycles between forced checkpoints *)
+  buffer_entries : int;  (** read/write-set capacity before overflow *)
+  checkpoint_cycles : int;  (** cost of saving 16 regs + PC + flags to NVM *)
+  clank_restore_cycles : int;
+}
+
+val default_clank : clank_config
+(** 8000-cycle watchdog (of the order of one power burst, as Clank
+    tunes it), 2048-word tracking capacity (Clank's Bloom filters cover
+    thousands of addresses before saturating), 40-cycle checkpoint,
+    40-cycle restore. *)
+
+type policy = Always_on | Nvp of nvp_config | Clank of clank_config
+
+val policy_name : policy -> string
+
+type outcome = {
+  completed : bool;  (** reached [Halt] (possibly via a skim jump) *)
+  skimmed : bool;  (** finished through a skim-point jump *)
+  first_skim_active : int option;
+      (** active cycles when the first skim point was latched — the
+          paper's "earliest available output" instant *)
+  wall_cycles : int;  (** total wall-clock cycles for this task, off-time included *)
+  active_cycles : int;  (** cycles spent executing instructions *)
+  overhead_cycles : int;  (** checkpoint + restore cycles *)
+  reexecuted_instructions : int;  (** work redone after rollbacks (Clank) *)
+  outage_count : int;
+  checkpoint_count : int;
+  retired : int;
+}
+
+type snapshot_hook = active_cycles:int -> wall_cycles:int -> unit
+(** Invoked every [snapshot_every] *active* cycles (approximately — at
+    the first instruction boundary past each multiple) and once at task
+    end; used to sample output quality over time. *)
+
+val run :
+  ?policy:policy ->
+  ?max_wall_cycles:int ->
+  ?snapshot_every:int ->
+  ?snapshot:snapshot_hook ->
+  ?halt_at_skim:bool ->
+  machine:Wn_machine.Machine.t ->
+  supply:Wn_power.Supply.t ->
+  unit ->
+  outcome
+(** Execute the current task until [Halt] or until [max_wall_cycles]
+    (default 20 billion — a watchdog against starved supplies) elapses
+    on the wall clock.  The machine should be positioned at the task
+    entry ([Machine.reset_for_new_task]).  Default policy is
+    [Always_on].
+
+    [halt_at_skim] models a power outage the instant the first skim
+    point is latched: the skim jump is taken immediately, committing the
+    earliest available output — the configuration of the paper's
+    memoization, small-subword and sampling studies ("when the earliest
+    available output is taken"). *)

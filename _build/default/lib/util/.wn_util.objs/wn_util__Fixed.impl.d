@@ -1,0 +1,1 @@
+lib/util/fixed.ml: Float Subword

@@ -1,0 +1,1 @@
+lib/util/subword.ml: List

@@ -1,0 +1,31 @@
+(** Statistics used by the evaluation: the paper reports NRMSE as its
+    quality metric and medians across trace runs. *)
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val rmse : reference:float array -> float array -> float
+(** Root mean square error between an output and its reference.
+    Arrays must have equal non-zero length. *)
+
+val nrmse : reference:float array -> float array -> float
+(** RMSE normalised by the reference's scale — the larger of its value
+    range and its peak magnitude (stable even for short, clustered
+    output vectors) — as a fraction (×100 for the paper's
+    percentages). *)
+
+val nrmse_pct : reference:float array -> float array -> float
+(** [nrmse] expressed in percent. *)
+
+val median : float array -> float
+(** Median of a non-empty array (does not mutate its argument). *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0, 100\]], nearest-rank with linear
+    interpolation. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values. *)

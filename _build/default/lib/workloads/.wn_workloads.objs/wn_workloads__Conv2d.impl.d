@@ -1,0 +1,1 @@
+lib/workloads/conv2d.ml: Array Float Image List Printf Workload

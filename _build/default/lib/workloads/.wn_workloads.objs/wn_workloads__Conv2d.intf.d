@@ -1,0 +1,1 @@
+lib/workloads/conv2d.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/dist.ml: Array Float List Printf Wn_util Workload

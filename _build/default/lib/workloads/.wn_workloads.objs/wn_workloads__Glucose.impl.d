@@ -1,0 +1,1 @@
+lib/workloads/glucose.ml: Array Float List Printf Wn_util

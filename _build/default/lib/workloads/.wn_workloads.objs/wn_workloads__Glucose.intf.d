@@ -1,0 +1,1 @@
+lib/workloads/glucose.mli: Wn_util

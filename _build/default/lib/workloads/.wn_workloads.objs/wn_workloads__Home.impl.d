@@ -1,0 +1,1 @@
+lib/workloads/home.ml: Array Float List Printf Wn_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/image.ml: Array Char Float Fun List Printf Rng Wn_util

@@ -1,0 +1,1 @@
+lib/workloads/image.mli: Wn_util

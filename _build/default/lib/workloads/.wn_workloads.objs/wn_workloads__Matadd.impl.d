@@ -1,0 +1,1 @@
+lib/workloads/matadd.ml: Array List Printf Wn_util Workload

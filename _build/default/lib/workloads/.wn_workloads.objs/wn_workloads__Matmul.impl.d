@@ -1,0 +1,1 @@
+lib/workloads/matmul.ml: Array List Printf Wn_util Workload

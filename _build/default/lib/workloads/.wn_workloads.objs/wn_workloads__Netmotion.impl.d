@@ -1,0 +1,1 @@
+lib/workloads/netmotion.ml: Array Float List Printf Wn_util Workload

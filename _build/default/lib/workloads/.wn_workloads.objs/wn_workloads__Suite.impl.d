@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Conv2d Dist Home List Matadd Matmul Netmotion String Var_sensor Workload

@@ -1,0 +1,1 @@
+lib/workloads/var_sensor.ml: Array Float List Printf Wn_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Compile Layout List Wn_compiler Wn_mem Wn_util

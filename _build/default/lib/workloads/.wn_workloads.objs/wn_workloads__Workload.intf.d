@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Wn_compiler Wn_mem Wn_util

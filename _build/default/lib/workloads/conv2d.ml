@@ -1,0 +1,98 @@
+type params = {
+  width : int;
+  height : int;
+  k : int;
+  pad : int;
+  stride : int;
+  fstride : int;
+}
+
+let params : Workload.scale -> params = function
+  | Small -> { width = 32; height = 32; k = 5; pad = 2; stride = 64; fstride = 8 }
+  | Paper ->
+      { width = 128; height = 128; k = 9; pad = 4; stride = 256; fstride = 16 }
+
+let output_scale = 65536.0 (* Q8.8 pixels × filter weight sum 256 *)
+
+let weight_sum = 256
+
+let source p (cfg : Workload.cfg) =
+  let img_len = (p.height + (2 * p.pad)) * p.stride in
+  Printf.sprintf
+    {|
+#pragma asp input(img, %d)
+#pragma asp output(out)
+
+uint16 img[%d];
+uint16 fl[%d];
+uint32 out[%d];
+
+kernel conv2d() {
+  anytime {
+    for (y = 0; y < %d; y += 1) {
+      for (x = 0; x < %d; x += 1) {
+        int32 acc = 0;
+        for (ky = 0; ky < %d; ky += 1) {
+          int32 irow = (y + ky) * %d + x;
+          int32 frow = ky * %d;
+          for (kx = 0; kx < %d; kx += 1) {
+            acc += fl[frow + kx] * img[irow + kx];
+          }
+        }
+        out[y * %d + x] = acc;
+      }
+    }
+  } commit { }
+}
+|}
+    cfg.bits img_len (p.k * p.fstride) (p.width * p.height) p.height p.width
+    p.k p.stride p.fstride p.k p.width
+
+let fresh_inputs p filter rng =
+  let pixels = Image.synthesize_precise rng ~width:p.width ~height:p.height in
+  let q88 =
+    Array.map
+      (fun v -> min 0xFFFF (int_of_float (Float.round (v *. 256.0))))
+      pixels
+  in
+  let img =
+    Image.pad_image q88 ~width:p.width ~height:p.height ~pad:p.pad
+      ~stride:p.stride
+  in
+  [ ("img", img); ("fl", filter) ]
+
+let golden p inputs =
+  let img = List.assoc "img" inputs and fl = List.assoc "fl" inputs in
+  Array.init (p.width * p.height) (fun o ->
+      let y = o / p.width and x = o mod p.width in
+      let acc = ref 0 in
+      for ky = 0 to p.k - 1 do
+        for kx = 0 to p.k - 1 do
+          acc :=
+            !acc
+            + (fl.((ky * p.fstride) + kx)
+              * img.(((y + ky) * p.stride) + x + kx))
+        done
+      done;
+      float_of_int (!acc land 0xFFFF_FFFF))
+
+let workload scale : Workload.t =
+  let p = params scale in
+  let filter =
+    Image.pad_filter
+      (Image.gaussian_filter ~k:p.k ~weight_sum)
+      ~k:p.k ~stride:p.fstride
+  in
+  {
+    name = "Conv2d";
+    area = "Image Processing";
+    description =
+      Printf.sprintf "%d×%d Gaussian filter applied on a %d×%d grayscale image"
+        p.k p.k p.width p.height;
+    technique = Workload.Swp;
+    source = source p;
+    fresh_inputs = fresh_inputs p filter;
+    golden = golden p;
+    output = "out";
+    out_count = p.width * p.height;
+  }

@@ -1,0 +1,25 @@
+(** 2D Convolution: a Gaussian filter over a grayscale image (Table I).
+
+    Image pixels are Q8.8 fixed point (the benchmarks' 16-bit values);
+    the filter is quantised to integer taps summing to 256, so each raw
+    output equals the smoothed pixel scaled by 2^16.  Anytime subword
+    pipelining is applied to the image operand of the multiply-
+    accumulate, exactly as in the paper's Listing 1. *)
+
+type params = {
+  width : int;
+  height : int;
+  k : int;  (** filter size (k×k) *)
+  pad : int;
+  stride : int;  (** padded-image row stride (power of two) *)
+  fstride : int;  (** filter row stride (power of two) *)
+}
+
+val params : Workload.scale -> params
+(** [Paper] is the paper's 128×128 image with a 9×9 filter; [Small] is
+    32×32 with 5×5. *)
+
+val workload : Workload.scale -> Workload.t
+
+val output_scale : float
+(** Divide raw outputs by this to recover pixel values (2^16). *)

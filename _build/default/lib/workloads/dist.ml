@@ -1,0 +1,76 @@
+(* Euclidean distance per displacement sample — the paper's footnote-3
+   extension exercised end to end: "more complex operations such as
+   floating point, square root and trigonometric functions are also
+   candidates" for anytime subword pipelining.  The anytime build
+   replaces the 16-cycle digit-by-digit square root with SQRT_ASP stages
+   of increasing result width; each replica overwrites the previous
+   approximation and the final stage is the exact root.
+
+   Not part of Table I — listed under [Suite.extended]. *)
+
+let count = 1024
+
+(* |components| ≤ 20000 keeps dx² + dy² inside 31 bits. *)
+let max_component = 20_000.0
+
+let source (cfg : Workload.cfg) =
+  Printf.sprintf
+    {|
+#pragma asp output(dist, %d)
+
+int16 dx[%d];
+int16 dy[%d];
+uint16 dist[%d];
+
+kernel dist() {
+  anytime {
+    for (i = 0; i < %d; i += 1) {
+      int32 x = dx[i];
+      int32 y = dy[i];
+      dist[i] = sqrt(x * x + y * y);
+    }
+  } commit { }
+}
+|}
+    cfg.bits count count count count
+
+let fresh_inputs rng =
+  let component () =
+    Array.init count (fun _ ->
+        let v =
+          Wn_util.Rng.gaussian rng ~mu:0.0 ~sigma:(max_component /. 3.0)
+        in
+        let v = Float.max (-.max_component) (Float.min max_component v) in
+        Wn_util.Subword.of_signed ~bits:16 (int_of_float v))
+  in
+  [ ("dx", component ()); ("dy", component ()) ]
+
+let isqrt n =
+  let r = ref 0 in
+  for bitpos = 15 downto 0 do
+    let candidate = !r lor (1 lsl bitpos) in
+    if candidate * candidate <= n then r := candidate
+  done;
+  !r
+
+let golden inputs =
+  let dx = List.assoc "dx" inputs and dy = List.assoc "dy" inputs in
+  Array.init count (fun i ->
+      let x = Wn_util.Subword.to_signed ~bits:16 dx.(i) in
+      let y = Wn_util.Subword.to_signed ~bits:16 dy.(i) in
+      float_of_int (isqrt ((x * x) + (y * y))))
+
+let workload (_ : Workload.scale) : Workload.t =
+  {
+    name = "Dist";
+    area = "Location Tracking";
+    description =
+      "Per-sample displacement magnitude via an anytime square root \
+       (footnote-3 extension)";
+    technique = Workload.Swp;
+    source;
+    fresh_inputs;
+    golden;
+    output = "dist";
+    out_count = count;
+  }

@@ -1,0 +1,57 @@
+type reading = { minutes : int; mgdl : float }
+
+let interval_minutes = 15
+let duration_minutes = 600
+let critical_threshold = 50.0
+
+let start_minutes = (10 * 60) + 48
+
+(* Minutes (since 10:48) of the two hypoglycemic dips: 14:30 and
+   18:30. *)
+let dip_centres = [ 222; 462 ]
+
+let clinical rng =
+  let n = (duration_minutes / interval_minutes) + 1 in
+  let meal m =
+    (* post-prandial excursions around 12:30 and 17:00 *)
+    let bump centre width amp =
+      let d = float_of_int (m - centre) in
+      amp *. exp (-.(d *. d) /. (2.0 *. width *. width))
+    in
+    bump 102 45.0 80.0 +. bump 372 50.0 70.0
+  in
+  let dip m =
+    List.fold_left
+      (fun acc centre ->
+        let d = float_of_int (m - centre) in
+        acc +. (-95.0 *. exp (-.(d *. d) /. (2.0 *. 12.0 *. 12.0))))
+      0.0 dip_centres
+  in
+  Array.init n (fun i ->
+      let m = i * interval_minutes in
+      let noise = Wn_util.Rng.gaussian rng ~mu:0.0 ~sigma:4.0 in
+      let v = 118.0 +. meal m +. dip m +. noise in
+      let v =
+        (* pin the dip minima safely below the critical threshold *)
+        if List.exists (fun c -> abs (m - c) <= 7) dip_centres then
+          Float.min v (critical_threshold -. 8.0)
+        else Float.max v (critical_threshold +. 10.0)
+      in
+      { minutes = m; mgdl = Float.max 25.0 v })
+
+let critical_indices readings =
+  Array.to_list readings
+  |> List.mapi (fun i r -> (i, r))
+  |> List.filter (fun (_, r) -> r.mgdl < critical_threshold)
+  |> List.map fst
+
+let quantize_msb ~bits v =
+  let full_bits = 8 in
+  let code = int_of_float (v /. 400.0 *. 255.0) in
+  let code = max 0 (min 255 code) in
+  let kept = (code lsr (full_bits - bits)) lsl (full_bits - bits) in
+  float_of_int kept /. 255.0 *. 400.0
+
+let clock_of_minutes m =
+  let total = start_minutes + m in
+  Printf.sprintf "%02d:%02d" (total / 60 mod 24) (total mod 60)

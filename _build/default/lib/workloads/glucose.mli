@@ -1,0 +1,35 @@
+(** Blood-glucose monitoring case study (Figure 3).
+
+    The paper compares input sampling against anytime processing on a
+    10-hour clinical glucose series with two hypoglycemic dips (around
+    14:30 and 18:30) sampled every 15 minutes.  The clinical data set is
+    not available, so we synthesise a series with the same structure:
+    meal excursions, noise, and two dips below the 50 mg/dL critical
+    threshold at the same clock times. *)
+
+type reading = { minutes : int;  (** minutes since 10:48 *) mgdl : float }
+
+val interval_minutes : int
+(** 15, as in the clinical data. *)
+
+val duration_minutes : int
+(** 10 hours. *)
+
+val critical_threshold : float
+(** 50 mg/dL — "dangerously low" per the paper. *)
+
+val clinical : Wn_util.Rng.t -> reading array
+(** The synthetic clinical series.  Guaranteed to contain exactly two
+    dips below the critical threshold, at minutes 222 (14:30) and 462
+    (18:30). *)
+
+val critical_indices : reading array -> int list
+(** Indices whose value is below {!critical_threshold}. *)
+
+val quantize_msb : bits:int -> float -> float
+(** The value the anytime 4-bit pipeline reports: the reading is coded
+    as an 8-bit sample over the 0–400 mg/dL range and only its [bits]
+    most significant bits are processed (lower bits read as zero). *)
+
+val clock_of_minutes : int -> string
+(** "14:30"-style wall-clock label (series starts at 10:48). *)

@@ -1,0 +1,82 @@
+(* Home monitoring (Table I): periodic average conditions (temperature
+   and humidity) per observation window — a windowed SWV reduction.
+   Each pass banks one digit plane's lane-parallel partial sums per
+   window, and the per-window averages are re-derived from the banked
+   planes, so every committed output is a coherent estimate.
+   Reductions always use provisioned lanes (see Transform). *)
+
+let window = 64
+let zones = 64
+let count = window * zones
+
+(* Readings in micro-units keep values near 2^24 (so the top digit
+   plane carries signal) while window sums of 64 stay below 2^31:
+   temperature 10–31 °C in µ°C, humidity fraction × 2×10^7. *)
+let q_temp x = int_of_float (Float.round (x *. 1_000_000.0))
+let q_hum x = int_of_float (Float.round (x *. 20_000_000.0))
+
+let source (cfg : Workload.cfg) =
+  Printf.sprintf
+    {|
+#pragma asv input(temps, %d, provisioned)
+#pragma asv input(hums, %d, provisioned)
+
+uint32 temps[%d];
+uint32 hums[%d];
+uint32 out[%d];
+
+kernel home() {
+  anytime {
+    for (z = 0; z < %d; z += 1) {
+      int32 zb = z * %d;
+      int32 st = 0;
+      int32 sh = 0;
+      for (i = 0; i < %d; i += 1) {
+        st += temps[zb + i];
+        sh += hums[zb + i];
+      }
+      out[z] = st >> 6;
+      out[z + %d] = sh >> 6;
+    }
+  } commit { }
+}
+|}
+    cfg.bits cfg.bits count count (2 * zones) zones window window zones
+
+let fresh_inputs rng =
+  let temp_base = 18.0 +. Wn_util.Rng.float rng 8.0 in
+  let hum_base = 0.35 +. Wn_util.Rng.float rng 0.25 in
+  let series quantise base sigma lo hi =
+    Array.init count (fun i ->
+        let drift = sigma *. 4.0 *. sin (float_of_int i /. 80.0) in
+        let v = base +. drift +. Wn_util.Rng.gaussian rng ~mu:0.0 ~sigma in
+        quantise (Float.max lo (Float.min hi v)))
+  in
+  [ ("temps", series q_temp temp_base 0.4 10.0 31.0);
+    ("hums", series q_hum hum_base 0.01 0.2 0.75) ]
+
+let golden inputs =
+  let zone_avgs name =
+    let a = List.assoc name inputs in
+    Array.init zones (fun z ->
+        let s = ref 0 in
+        for i = 0 to window - 1 do
+          s := !s + a.((z * window) + i)
+        done;
+        float_of_int (!s asr 6))
+  in
+  Array.append (zone_avgs "temps") (zone_avgs "hums")
+
+let workload (_ : Workload.scale) : Workload.t =
+  {
+    name = "Home";
+    area = "Environmental Sensing";
+    description =
+      "Periodic calculation of average conditions (e.g., temperature, humidity)";
+    technique = Workload.Swv;
+    source;
+    fresh_inputs;
+    golden;
+    output = "out";
+    out_count = 2 * zones;
+  }

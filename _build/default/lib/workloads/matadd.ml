@@ -1,0 +1,54 @@
+(* Matrix addition (Table I): X = A + B element-wise on 32-bit values —
+   the paper's showcase for anytime subword vectorization, and the
+   subject of the provisioned-vs-unprovisioned study (Figure 14). *)
+
+let count : Workload.scale -> int = function Small -> 2048 | Paper -> 4096
+
+(* Values below 2^30 so sums stay below 2^31 (no wrap in either
+   direction of the comparison). *)
+let max_value = 1 lsl 30
+
+let source count (cfg : Workload.cfg) =
+  let prov = if cfg.provisioned then ", provisioned" else "" in
+  Printf.sprintf
+    {|
+#pragma asv input(a, %d%s)
+#pragma asv input(b, %d%s)
+#pragma asv output(x, %d%s)
+
+uint32 a[%d];
+uint32 b[%d];
+uint32 x[%d];
+
+kernel matadd() {
+  anytime {
+    for (i = 0; i < %d; i += 1) {
+      x[i] = a[i] + b[i];
+    }
+  } commit { }
+}
+|}
+    cfg.bits prov cfg.bits prov cfg.bits prov count count count count
+
+let fresh_inputs count rng =
+  let gen () = Array.init count (fun _ -> Wn_util.Rng.int rng max_value) in
+  [ ("a", gen ()); ("b", gen ()) ]
+
+let golden count inputs =
+  let a = List.assoc "a" inputs and b = List.assoc "b" inputs in
+  Array.init count (fun i -> float_of_int ((a.(i) + b.(i)) land 0xFFFF_FFFF))
+
+let workload scale : Workload.t =
+  let count = count scale in
+  let n = int_of_float (sqrt (float_of_int count)) in
+  {
+    name = "MatAdd";
+    area = "Data processing";
+    description = Printf.sprintf "Addition of two %d×%d matrices" n n;
+    technique = Workload.Swv;
+    source = source count;
+    fresh_inputs = fresh_inputs count;
+    golden = golden count;
+    output = "x";
+    out_count = count;
+  }

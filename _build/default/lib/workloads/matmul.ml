@@ -1,0 +1,75 @@
+(* Matrix multiply (Table I): X = A·B on n×n 16-bit matrices, with B
+   held transposed so both inner-loop operands stride contiguously.
+   Anytime SWP decomposes the [a] operand, which uses the full 16-bit
+   range (so every subword pass carries signal); the [bt] operand stays
+   small enough that a whole dot product fits a 32-bit accumulator. *)
+
+let n : Workload.scale -> int = function Small -> 16 | Paper -> 64
+
+let max_a = 65536
+let max_bt = 800 (* 65535 · 800 · 64 < 2^32 *)
+
+let source n (cfg : Workload.cfg) =
+  let asv =
+    (* The optional subword-major annotation that lets the Figure 12
+       build vectorize the subword loads; inert otherwise. *)
+    if cfg.bits = 4 || cfg.bits = 8 || cfg.bits = 16 then
+      Printf.sprintf "#pragma asv input(a, %d)\n" cfg.bits
+    else ""
+  in
+  Printf.sprintf
+    {|
+#pragma asp input(a, %d)
+#pragma asp output(x)
+%s
+uint16 a[%d];
+uint16 bt[%d];
+uint32 x[%d];
+
+kernel matmul() {
+  anytime {
+    for (i = 0; i < %d; i += 1) {
+      int32 arow = i * %d;
+      for (j = 0; j < %d; j += 1) {
+        int32 acc = 0;
+        int32 brow = j * %d;
+        for (k = 0; k < %d; k += 1) {
+          acc += bt[brow + k] * a[arow + k];
+        }
+        x[arow + j] = acc;
+      }
+    }
+  } commit { }
+}
+|}
+    cfg.bits asv (n * n) (n * n) (n * n) n n n n n
+
+let fresh_inputs n rng =
+  [
+    ("a", Array.init (n * n) (fun _ -> Wn_util.Rng.int rng max_a));
+    ("bt", Array.init (n * n) (fun _ -> Wn_util.Rng.int rng max_bt));
+  ]
+
+let golden n inputs =
+  let a = List.assoc "a" inputs and bt = List.assoc "bt" inputs in
+  Array.init (n * n) (fun o ->
+      let i = o / n and j = o mod n in
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc := !acc + (a.((i * n) + k) * bt.((j * n) + k))
+      done;
+      float_of_int (!acc land 0xFFFF_FFFF))
+
+let workload scale : Workload.t =
+  let n = n scale in
+  {
+    name = "MatMul";
+    area = "Data processing";
+    description = Printf.sprintf "Multiplication of two %d×%d matrices" n n;
+    technique = Workload.Swp;
+    source = source n;
+    fresh_inputs = fresh_inputs n;
+    golden = golden n;
+    output = "x";
+    out_count = n * n;
+  }

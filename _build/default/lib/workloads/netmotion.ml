@@ -1,0 +1,87 @@
+(* Location tracking (Table I's "NetMotion"): wildlife-collar net
+   movement per tracking interval — the sum of signed displacement
+   deltas over each 64-sample window.  A signed windowed SWV reduction:
+   the deltas are stored offset-binary so banked digit-plane partial
+   sums reconstruct each window's two's-complement net displacement
+   exactly (modulo 2^32, exact for even window sizes). *)
+
+let window = 64
+let zones = 64
+let count = window * zones
+
+(* Deltas in µm keep magnitudes near 2^24 (top plane carries signal)
+   while window net movement stays below 2^31. *)
+let max_step = 25_000_000.0
+
+let source (cfg : Workload.cfg) =
+  Printf.sprintf
+    {|
+#pragma asv input(dx, %d, provisioned)
+#pragma asv input(dy, %d, provisioned)
+
+int32 dx[%d];
+int32 dy[%d];
+int32 out[%d];
+
+kernel netmotion() {
+  anytime {
+    for (z = 0; z < %d; z += 1) {
+      int32 zb = z * %d;
+      int32 nx = 0;
+      int32 ny = 0;
+      for (i = 0; i < %d; i += 1) {
+        nx += dx[zb + i];
+        ny += dy[zb + i];
+      }
+      out[z] = nx;
+      out[z + %d] = ny;
+    }
+  } commit { }
+}
+|}
+    cfg.bits cfg.bits count count (2 * zones) zones window window zones
+
+(* A correlated random walk: heading drifts slowly, so per-window net
+   movement is well away from zero (as an animal's track would be). *)
+let walk rng =
+  let heading = ref (Wn_util.Rng.float rng 6.28) in
+  let dx = Array.make count 0 and dy = Array.make count 0 in
+  for i = 0 to count - 1 do
+    heading := !heading +. Wn_util.Rng.gaussian rng ~mu:0.0 ~sigma:0.12;
+    let speed = 5_000_000.0 +. Wn_util.Rng.float rng 18_000_000.0 in
+    let clamp v = Float.max (-.max_step) (Float.min max_step v) in
+    dx.(i) <- int_of_float (clamp (speed *. cos !heading)) land 0xFFFF_FFFF;
+    dy.(i) <- int_of_float (clamp (speed *. sin !heading)) land 0xFFFF_FFFF
+  done;
+  (dx, dy)
+
+let fresh_inputs rng =
+  let dx, dy = walk rng in
+  [ ("dx", dx); ("dy", dy) ]
+
+let golden inputs =
+  let signed v = Wn_util.Subword.to_signed ~bits:32 v in
+  let zone_nets name =
+    let a = List.assoc name inputs in
+    Array.init zones (fun z ->
+        let s = ref 0 in
+        for i = 0 to window - 1 do
+          s := !s + signed a.((z * window) + i)
+        done;
+        float_of_int !s)
+  in
+  Array.append (zone_nets "dx") (zone_nets "dy")
+
+let workload (_ : Workload.scale) : Workload.t =
+  {
+    name = "NetMotion";
+    area = "Environmental Sensing";
+    description =
+      "Wildlife location tracking; calculates net movement over period of time";
+    technique = Workload.Swv;
+    source;
+    fresh_inputs;
+    golden;
+    output = "out";
+    out_count = 2 * zones;
+  }

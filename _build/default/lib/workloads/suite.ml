@@ -1,0 +1,21 @@
+let all scale =
+  [
+    Conv2d.workload scale;
+    Matmul.workload scale;
+    Matadd.workload scale;
+    Home.workload scale;
+    Var_sensor.workload scale;
+    Netmotion.workload scale;
+  ]
+
+let extensions scale = [ Dist.workload scale ]
+
+let extended scale = all scale @ extensions scale
+
+let names = [ "Conv2d"; "MatMul"; "MatAdd"; "Home"; "Var"; "NetMotion" ]
+
+let find scale name =
+  let lc = String.lowercase_ascii name in
+  List.find
+    (fun (w : Workload.t) -> String.lowercase_ascii w.name = lc)
+    (extended scale)

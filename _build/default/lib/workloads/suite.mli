@@ -1,0 +1,16 @@
+(** The complete Table I suite. *)
+
+val all : Workload.scale -> Workload.t list
+(** Conv2d, MatMul, MatAdd, Home, Var, NetMotion — in Table I order. *)
+
+val extensions : Workload.scale -> Workload.t list
+(** Workloads beyond Table I: the footnote-3 anytime-sqrt kernel. *)
+
+val extended : Workload.scale -> Workload.t list
+(** [all @ extensions]. *)
+
+val find : Workload.scale -> string -> Workload.t
+(** Case-insensitive lookup by name over [extended]; raises
+    [Not_found]. *)
+
+val names : string list

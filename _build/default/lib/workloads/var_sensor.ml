@@ -1,0 +1,119 @@
+(* Data logging (Table I's "Var"): per-window variance of sensor
+   readings.  Readings arrive as calibrated signed deviations from the
+   sensor midpoint (zero-mean per window by calibration), so the kernel
+   is sums (cheap, precise) plus squares — the long-latency multiplies
+   anytime SWP pipelines, in the x·x shape where both operands come
+   from the annotated signed array.  Each window's raw sum of squares
+   lands in its [out] slot (overwritten by the first subword pass,
+   accumulated by later ones); the commit block derives the variance
+   estimate [Σx² - (Σx)²/n] per window.  Signed-prefix squares only
+   overestimate, so every intermediate estimate is non-negative and
+   decreasing toward the exact value. *)
+
+let window = 32
+let windows = 128
+let count = window * windows
+
+(* |reading| ≤ 6000 keeps the worst first-pass partial window sum,
+   Σ x·(x_top + 2^12), under 2^31. *)
+let max_reading = 6000.0
+
+let source (cfg : Workload.cfg) =
+  Printf.sprintf
+    {|
+#pragma asp input(readings, %d)
+#pragma asp output(out)
+
+int16 readings[%d];
+int32 wsums[%d];
+uint32 out[%d];
+uint32 outv[%d];
+
+kernel var() {
+  for (w = 0; w < %d; w += 1) {
+    int32 base = w * %d;
+    int32 s = 0;
+    for (i = 0; i < %d; i += 1) {
+      s += readings[base + i];
+    }
+    wsums[w] = s;
+  }
+  anytime {
+    for (w2 = 0; w2 < %d; w2 += 1) {
+      int32 b2 = w2 * %d;
+      int32 sq = 0;
+      for (j = 0; j < %d; j += 1) {
+        sq += readings[b2 + j] * readings[b2 + j];
+      }
+      out[w2] = sq;
+    }
+  } commit {
+    for (cw = 0; cw < %d; cw += 1) {
+      outv[cw] = out[cw] - ((wsums[cw] * wsums[cw]) >> 5);
+    }
+  }
+}
+|}
+    cfg.bits count windows windows windows windows window window windows
+    window window windows
+
+(* Calibrated sensor deltas: an in-window oscillation plus noise,
+   re-centred per window so the calibration assumption holds. *)
+let series rng =
+  let amplitude = 1500.0 +. Wn_util.Rng.float rng 3000.0 in
+  let period = 14.0 +. Wn_util.Rng.float rng 12.0 in
+  let phase = Wn_util.Rng.float rng 6.28 in
+  let raw =
+    Array.init count (fun i ->
+        let t = 6.28 *. float_of_int i /. period in
+        let v =
+          (amplitude *. sin (t +. phase))
+          +. Wn_util.Rng.gaussian rng ~mu:0.0 ~sigma:150.0
+        in
+        Float.max (-.max_reading) (Float.min max_reading v))
+    |> Array.map int_of_float
+  in
+  (* Re-centre each window on its rounded mean: |Σ window| stays small,
+     as sensor calibration guarantees, so (Σx)² cannot overflow. *)
+  for w = 0 to windows - 1 do
+    let b = w * window in
+    let s = ref 0 in
+    for i = 0 to window - 1 do
+      s := !s + raw.(b + i)
+    done;
+    let m = !s / window in
+    for i = 0 to window - 1 do
+      raw.(b + i) <- raw.(b + i) - m
+    done
+  done;
+  Array.map (fun v -> Wn_util.Subword.of_signed ~bits:16 v) raw
+
+let fresh_inputs rng = [ ("readings", series rng) ]
+
+let golden inputs =
+  let r =
+    Array.map
+      (fun v -> Wn_util.Subword.to_signed ~bits:16 v)
+      (List.assoc "readings" inputs)
+  in
+  Array.init windows (fun w ->
+      let b = w * window in
+      let s = ref 0 and sq = ref 0 in
+      for i = 0 to window - 1 do
+        s := !s + r.(b + i);
+        sq := !sq + (r.(b + i) * r.(b + i))
+      done;
+      float_of_int ((!sq - ((!s * !s) asr 5)) land 0xFFFF_FFFF))
+
+let workload (_ : Workload.scale) : Workload.t =
+  {
+    name = "Var";
+    area = "Environmental Sensing";
+    description = "Calculates variance on data gathered from sensors";
+    technique = Workload.Swp;
+    source;
+    fresh_inputs;
+    golden;
+    output = "outv";
+    out_count = windows;
+  }

@@ -1,0 +1,1 @@
+test/gen_wnc.ml: Array Format List Printf QCheck Wn_lang Wn_util

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Bytes Compile Int32 Layout List Printf QCheck QCheck_alcotest Wn_compiler Wn_isa Wn_lang Wn_machine Wn_mem Wn_power Wn_runtime Wn_util

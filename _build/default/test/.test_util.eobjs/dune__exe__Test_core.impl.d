@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Suite Wn_area Wn_core Wn_workloads Workload

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Compile Gen_wnc Layout List Printf QCheck QCheck_alcotest Wn_compiler Wn_lang Wn_machine Wn_mem Wn_power Wn_runtime

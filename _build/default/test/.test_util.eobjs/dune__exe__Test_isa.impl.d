@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Cond Encoding Format Instr List QCheck QCheck_alcotest Reg Wn_isa

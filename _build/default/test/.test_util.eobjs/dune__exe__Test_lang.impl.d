@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Format Interp Lexer List Parser Printf Sema String Wn_lang

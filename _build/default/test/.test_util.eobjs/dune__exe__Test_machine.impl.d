@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Cond Instr List Machine Memo QCheck QCheck_alcotest Reg Wn_isa Wn_machine Wn_mem

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Memory QCheck QCheck_alcotest Wn_mem

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Capacitor List Supply Trace Wn_power

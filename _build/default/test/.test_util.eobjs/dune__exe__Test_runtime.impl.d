@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Asm Capacitor Cond Instr List Machine Reg Supply Trace Wn_isa Wn_machine Wn_mem Wn_power Wn_runtime

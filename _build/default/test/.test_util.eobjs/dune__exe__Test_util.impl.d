@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fixed Fun Gen List QCheck QCheck_alcotest Rng Stats Subword Wn_util

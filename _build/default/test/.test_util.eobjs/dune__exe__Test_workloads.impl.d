@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename Glucose Image List String Suite Sys Wn_core Wn_runtime Wn_util Wn_workloads Workload

@@ -1,0 +1,191 @@
+(* Random WNC program generator for differential testing.
+
+   Programs are closed and safe by construction: loops have constant
+   bounds, every array index is masked to the (power-of-two) array
+   length, locals stay within the code generator's register budget, and
+   comparisons appear only in if-conditions.  Inputs are generated
+   alongside the program. *)
+
+open Wn_lang.Ast
+
+type spec = {
+  program : program;
+  inputs : (string * int array) list;
+  source : string;  (** pretty-printed, re-parsed by the tests *)
+}
+
+let array_len = 16 (* power of two: indices are masked with len-1 *)
+
+let input_decls =
+  [
+    { g_name = "in1"; g_ty = U16; g_count = array_len };
+    { g_name = "in2"; g_ty = I16; g_count = array_len };
+    { g_name = "in3"; g_ty = U32; g_count = array_len };
+  ]
+
+let output_decls =
+  [
+    { g_name = "out1"; g_ty = U32; g_count = array_len };
+    { g_name = "out2"; g_ty = I32; g_count = array_len };
+    { g_name = "out8"; g_ty = U8; g_count = array_len };
+  ]
+
+let arrays = input_decls @ output_decls
+
+(* Generation state: variables readable in scope, the subset that may
+   be assigned (loop variables are read-only, or loops could diverge),
+   and a fresh-name counter. *)
+type st = {
+  mutable vars : string list;
+  mutable assignable : string list;
+  mutable next : int;
+}
+
+open QCheck.Gen
+
+let small_const = frequency [ (4, int_bound 255); (2, int_bound 65535); (1, return 0) ]
+
+let pick_array = oneofl (List.map (fun g -> g.g_name) arrays)
+
+let rec gen_expr st depth =
+  let leaf =
+    frequency
+      [
+        (3, map (fun n -> Int n) small_const);
+        ( (if st.vars = [] then 0 else 4),
+          map (fun i -> Var (List.nth st.vars (i mod max 1 (List.length st.vars))))
+            (int_bound 1000) );
+        (2, gen_load st depth);
+      ]
+  in
+  if depth <= 0 then leaf
+  else
+    frequency
+      [
+        (3, leaf);
+        ( 4,
+          let* op = oneofl [ Add; Sub; Mul; And; Or; Xor ] in
+          let* a = gen_expr st (depth - 1) in
+          let* b = gen_expr st (depth - 1) in
+          return (Binop (op, a, b)) );
+        ( 2,
+          let* op = oneofl [ Shl; Shr ] in
+          let* a = gen_expr st (depth - 1) in
+          let* n = int_bound 8 in
+          return (Binop (op, a, Int n)) );
+        (1, map (fun e -> Neg e) (gen_expr st (depth - 1)));
+        (1, map (fun e -> Bnot e) (gen_expr st (depth - 1)));
+        (1, map (fun e -> Sqrt e) (gen_expr st (depth - 1)));
+      ]
+
+and gen_load st depth =
+  let* arr = pick_array in
+  let* idx = gen_index st depth in
+  return (Load (arr, idx))
+
+(* A masked index is always within bounds. *)
+and gen_index st depth =
+  let* e = gen_expr st (max 0 (depth - 1)) in
+  return (Binop (And, e, Int (array_len - 1)))
+
+let gen_cond st depth =
+  let* op = oneofl [ Eq; Ne; Lt; Le; Gt; Ge ] in
+  let* a = gen_expr st depth in
+  let* b = gen_expr st depth in
+  return (Binop (op, a, b))
+
+let fresh st prefix =
+  st.next <- st.next + 1;
+  Printf.sprintf "%s%d" prefix st.next
+
+(* The code generator allocates one register per live local; stay well
+   under its budget of 7. *)
+let max_locals = 4
+
+let rec gen_stmt st ~loops_left =
+  frequency
+    ([
+       ( (if List.length st.vars >= max_locals then 0 else 2),
+         let* e = gen_expr st 2 in
+         let name = fresh st "v" in
+         st.vars <- name :: st.vars;
+         st.assignable <- name :: st.assignable;
+         return (Decl (name, e)) );
+       ( (if st.assignable = [] then 0 else 3),
+         let* i = int_bound 1000 in
+         let v = List.nth st.assignable (i mod List.length st.assignable) in
+         let* e = gen_expr st 2 in
+         let* aug = bool in
+         let* op = oneofl [ Add; Sub; Xor ] in
+         return (if aug then Aug_assign (Lvar v, op, e) else Assign (Lvar v, e)) );
+       ( 4,
+         let* arr = oneofl [ "out1"; "out2"; "out8" ] in
+         let* idx = gen_index st 1 in
+         let* e = gen_expr st 2 in
+         let* aug = bool in
+         return
+           (if aug then Aug_assign (Larr (arr, idx), Add, e)
+            else Assign (Larr (arr, idx), e)) );
+       ( 2,
+         let* cond = gen_cond st 1 in
+         let* then_blk = gen_block st ~loops_left ~len:2 in
+         let* else_blk = gen_block st ~loops_left ~len:1 in
+         return (If (cond, then_blk, else_blk)) );
+     ]
+    @
+    if loops_left <= 0 then []
+    else
+      [
+        ( 3,
+          let var = fresh st "i" in
+          let* hi = int_range 1 array_len in
+          let* step = int_range 1 2 in
+          let saved = st.vars and saved_a = st.assignable in
+          st.vars <- var :: st.vars;
+          let* body = gen_block st ~loops_left:(loops_left - 1) ~len:3 in
+          st.vars <- saved;
+          st.assignable <- saved_a;
+          return (For { var; lo = Int 0; hi = Int hi; step; body }) );
+      ])
+
+and gen_block st ~loops_left ~len =
+  let* n = int_range 1 len in
+  let rec go acc k =
+    if k = 0 then return (List.rev acc)
+    else
+      let saved_vars = st.vars and saved_a = st.assignable in
+      let* s = gen_stmt st ~loops_left in
+      (* locals declared inside nested blocks fall out of scope there;
+         here we keep top-level growth only for Decl results *)
+      (match s with
+      | Decl _ -> ()
+      | _ ->
+          st.vars <- saved_vars;
+          st.assignable <- saved_a);
+      go (s :: acc) (k - 1)
+  in
+  let saved = st.vars and saved_a = st.assignable in
+  let* stmts = go [] n in
+  st.vars <- saved;
+  st.assignable <- saved_a;
+  return stmts
+
+let gen_program : spec QCheck.Gen.t =
+ fun rand ->
+  let st = { vars = []; assignable = []; next = 0 } in
+  let body = gen_block st ~loops_left:2 ~len:5 rand in
+  let program = { pragmas = []; globals = arrays; kernel_name = "fuzz"; body } in
+  let seed_rng = Wn_util.Rng.create (int_bound 1_000_000 rand) in
+  let inputs =
+    List.map
+      (fun g ->
+        ( g.g_name,
+          Array.init g.g_count (fun _ ->
+              Wn_util.Rng.int seed_rng (1 lsl min 30 (ty_bits g.g_ty))) ))
+      input_decls
+  in
+  let source = Format.asprintf "%a" pp_program program in
+  { program; inputs; source }
+
+let arbitrary =
+  QCheck.make ~print:(fun s -> s.source) gen_program

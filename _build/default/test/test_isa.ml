@@ -1,0 +1,283 @@
+(* Tests for wn.isa: conditions, latencies, the binary codec and the
+   assembler. *)
+
+open Wn_isa
+
+let r = Reg.r
+
+(* ---------------- Cond ---------------- *)
+
+let flags ?(n = false) ?(z = false) ?(c = false) ?(v = false) () =
+  { Cond.n; z; c; v }
+
+let test_cond_table () =
+  let t = Alcotest.(check bool) in
+  t "al" true (Cond.holds Cond.Al (flags ()));
+  t "eq on z" true (Cond.holds Cond.Eq (flags ~z:true ()));
+  t "ne" false (Cond.holds Cond.Ne (flags ~z:true ()));
+  t "lt when n<>v" true (Cond.holds Cond.Lt (flags ~n:true ()));
+  t "lt when n=v" false (Cond.holds Cond.Lt (flags ~n:true ~v:true ()));
+  t "ge" true (Cond.holds Cond.Ge (flags ~n:true ~v:true ()));
+  t "gt needs not-z" false (Cond.holds Cond.Gt (flags ~z:true ()));
+  t "le" true (Cond.holds Cond.Le (flags ~z:true ()));
+  t "lo" true (Cond.holds Cond.Lo (flags ()));
+  t "hs" true (Cond.holds Cond.Hs (flags ~c:true ()));
+  t "mi" true (Cond.holds Cond.Mi (flags ~n:true ()));
+  t "pl" false (Cond.holds Cond.Pl (flags ~n:true ()))
+
+let test_cond_codes () =
+  List.iter
+    (fun c ->
+      match Cond.of_int (Cond.to_int c) with
+      | Some c' when c = c' -> ()
+      | _ -> Alcotest.fail ("condition code round trip: " ^ Cond.to_string c))
+    Cond.all;
+  if Cond.of_int 99 <> None then Alcotest.fail "bad code accepted"
+
+(* ---------------- Instr latencies ---------------- *)
+
+let test_latencies () =
+  let c = Alcotest.(check int) in
+  c "alu" 1 (Instr.cycles ~taken:false (Instr.Alu (Instr.Add, r 0, r 1, r 2)));
+  c "mul is iterative 16" 16 (Instr.cycles ~taken:false (Instr.Mul (r 0, r 1, r 2)));
+  c "mul_asp8 is 8" 8
+    (Instr.cycles ~taken:false
+       (Instr.Mul_asp { bits = 8; signed = false; rd = r 0; rn = r 1; shift = 8 }));
+  c "mul_asp4 is 4" 4
+    (Instr.cycles ~taken:false
+       (Instr.Mul_asp { bits = 4; signed = false; rd = r 0; rn = r 1; shift = 0 }));
+  c "asv add single cycle" 1
+    (Instr.cycles ~taken:false (Instr.Add_asv (8, r 0, r 1, r 2)));
+  c "load" 2
+    (Instr.cycles ~taken:false
+       (Instr.Ldr { width = Instr.Word; signed = false; rd = r 0; base = r 1; off = 0 }));
+  c "taken branch refills" 2 (Instr.cycles ~taken:true (Instr.B (Cond.Eq, 5)));
+  c "untaken branch" 1 (Instr.cycles ~taken:false (Instr.B (Cond.Eq, 5)))
+
+let test_wn_classification () =
+  let t = Alcotest.(check bool) in
+  t "mul_asp is WN" true
+    (Instr.is_wn_extension
+       (Instr.Mul_asp { bits = 8; signed = false; rd = r 0; rn = r 1; shift = 0 }));
+  t "skm is WN" true (Instr.is_wn_extension (Instr.Skm 3));
+  t "plain mul is not" false (Instr.is_wn_extension (Instr.Mul (r 0, r 1, r 2)))
+
+(* ---------------- Encoding ---------------- *)
+
+let sample_instrs : int Instr.t list =
+  [
+    Instr.Nop;
+    Instr.Halt;
+    Instr.Mov_imm (r 3, 0xBEEF);
+    Instr.Movt (r 12, 0xDEAD);
+    Instr.Mov (r 1, r 14);
+    Instr.Alu (Instr.Eor, r 2, r 3, r 4);
+    Instr.Alu_imm (Instr.Sub, r 5, r 6, 0xFFF);
+    Instr.Shift (Instr.Asr, r 7, r 8, 31);
+    Instr.Mul (r 9, r 10, r 11);
+    Instr.Mul_asp { bits = 3; signed = true; rd = r 1; rn = r 2; shift = 13 };
+    Instr.Add_asv (16, r 0, r 1, r 2);
+    Instr.Sub_asv (4, r 3, r 4, r 5);
+    Instr.Cmp (r 6, r 7);
+    Instr.Cmp_imm (r 8, 65535);
+    Instr.Ldr { width = Instr.Half; signed = true; rd = r 0; base = r 1; off = 1023 };
+    Instr.Str { width = Instr.Byte; rs = r 2; base = r 3; off = 0 };
+    Instr.Ldr_reg { width = Instr.Word; signed = false; rd = r 4; base = r 5; idx = r 6 };
+    Instr.Str_reg { width = Instr.Half; rs = r 7; base = r 8; idx = r 9 };
+    Instr.B (Cond.Le, 12345);
+    Instr.Bl 77;
+    Instr.Bx_lr;
+    Instr.Skm 4242;
+  ]
+
+let test_encode_roundtrip () =
+  List.iter
+    (fun i ->
+      match Encoding.decode (Encoding.encode i) with
+      | Ok i' when i = i' -> ()
+      | Ok i' ->
+          Alcotest.failf "round trip changed %a into %a" Instr.pp_resolved i
+            Instr.pp_resolved i'
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    sample_instrs
+
+let test_encode_rejects_out_of_range () =
+  Alcotest.check_raises "imm16 too large"
+    (Invalid_argument "Encoding: imm16 out of range: 65536") (fun () ->
+      ignore (Encoding.encode (Instr.Mov_imm (r 0, 0x10000))));
+  Alcotest.check_raises "offset too large"
+    (Invalid_argument "Encoding: offset out of range: 1024") (fun () ->
+      ignore
+        (Encoding.encode
+           (Instr.Str { width = Instr.Word; rs = r 0; base = r 1; off = 1024 })))
+
+let test_decode_rejects_garbage () =
+  match Encoding.decode 0xFC00_0000l with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a decode error for an unknown opcode"
+
+let test_program_roundtrip () =
+  let prog = Array.of_list sample_instrs in
+  (match Encoding.decode_program (Encoding.encode_program prog) with
+  | Ok prog' when prog' = prog -> ()
+  | _ -> Alcotest.fail "program round trip");
+  Alcotest.(check int) "code size" (4 * Array.length prog)
+    (Encoding.code_size_bytes prog)
+
+(* Random instruction generator for the codec property. *)
+let gen_instr : int Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = map Reg.r (int_range 0 15) in
+  let alu = oneofl Instr.[ Add; Sub; And; Orr; Eor; Bic; Adc; Sbc ] in
+  let width = oneofl Instr.[ Byte; Half; Word ] in
+  let cond = oneofl Cond.all in
+  oneof
+    [
+      return Instr.Nop;
+      return Instr.Halt;
+      map2 (fun r i -> Instr.Mov_imm (r, i)) reg (int_bound 0xFFFF);
+      map2 (fun a b -> Instr.Mov (a, b)) reg reg;
+      map3 (fun op a (b, c) -> Instr.Alu (op, a, b, c)) alu reg (pair reg reg);
+      map3 (fun op a (b, i) -> Instr.Alu_imm (op, a, b, i)) alu reg
+        (pair reg (int_bound 0xFFF));
+      map3
+        (fun (bits, signed) (rd, rn) shift ->
+          Instr.Mul_asp { bits; signed; rd; rn; shift })
+        (pair (int_range 1 16) bool)
+        (pair reg reg) (int_bound 31);
+      map3 (fun w a (b, c) -> Instr.Add_asv (w, a, b, c)) (int_range 1 16) reg
+        (pair reg reg);
+      map3
+        (fun (w, signed) (rd, base) off -> Instr.Ldr { width = w; signed; rd; base; off })
+        (pair width bool) (pair reg reg) (int_bound 1023);
+      map3
+        (fun w (rs, base) off -> Instr.Str { width = w; rs; base; off })
+        width (pair reg reg) (int_bound 1023);
+      map3
+        (fun (w, signed) (rd, base) idx ->
+          Instr.Ldr_reg { width = w; signed; rd; base; idx })
+        (pair width bool) (pair reg reg) reg;
+      map3
+        (fun w (rs, base) idx -> Instr.Str_reg { width = w; rs; base; idx })
+        width (pair reg reg) reg;
+      map2 (fun r i -> Instr.Movt (r, i)) reg (int_bound 0xFFFF);
+      map3 (fun op (rd, rn) sh -> Instr.Shift (op, rd, rn, sh))
+        (oneofl Instr.[ Lsl; Lsr; Asr ])
+        (pair reg reg) (int_bound 31);
+      map3 (fun a b c -> Instr.Mul (a, b, c)) reg reg reg;
+      map3 (fun w a (b, c) -> Instr.Sub_asv (w, a, b, c)) (int_range 1 16) reg
+        (pair reg reg);
+      map2 (fun a b -> Instr.Cmp (a, b)) reg reg;
+      map2 (fun a i -> Instr.Cmp_imm (a, i)) reg (int_bound 0xFFFF);
+      map2 (fun a b -> Instr.Sqrt (a, b)) reg reg;
+      map3 (fun bits rd rn -> Instr.Sqrt_asp { bits; rd; rn }) (int_range 1 16)
+        reg reg;
+      map (fun t -> Instr.Bl t) (int_bound 0xFFFF);
+      return Instr.Bx_lr;
+      map2 (fun c t -> Instr.B (c, t)) cond (int_bound 0xFFFF);
+      map (fun t -> Instr.Skm t) (int_bound 0xFFFF);
+    ]
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"encode/decode round-trips"
+    (QCheck.make gen_instr) (fun i ->
+      match Encoding.decode (Encoding.encode i) with
+      | Ok i' -> i = i'
+      | Error _ -> false)
+
+(* ---------------- Asm ---------------- *)
+
+let test_assemble_labels () =
+  let prog =
+    [
+      Asm.Label "start";
+      Asm.I (Instr.Mov_imm (r 0, 1));
+      Asm.Comment "loop body";
+      Asm.Label "loop";
+      Asm.I (Instr.Alu_imm (Instr.Add, r 0, r 0, 1));
+      Asm.I (Instr.Cmp_imm (r 0, 10));
+      Asm.I (Instr.B (Cond.Lt, "loop"));
+      Asm.I (Instr.Skm "done");
+      Asm.Label "done";
+      Asm.I Instr.Halt;
+    ]
+  in
+  let resolved = Asm.assemble_exn prog in
+  Alcotest.(check int) "instruction count" 6 (Array.length resolved);
+  (match resolved.(3) with
+  | Instr.B (Cond.Lt, 1) -> ()
+  | i -> Alcotest.failf "bad branch resolution: %a" Instr.pp_resolved i);
+  (match resolved.(4) with
+  | Instr.Skm 5 -> ()
+  | i -> Alcotest.failf "bad skim resolution: %a" Instr.pp_resolved i);
+  Alcotest.(check (list (pair string int)))
+    "label map"
+    [ ("start", 0); ("loop", 1); ("done", 5) ]
+    (Asm.label_map prog)
+
+let test_assemble_errors () =
+  let undefined = [ Asm.I (Instr.B (Cond.Al, "nowhere")) ] in
+  (match Asm.assemble undefined with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undefined label accepted");
+  let duplicate =
+    [ Asm.Label "x"; Asm.I Instr.Nop; Asm.Label "x"; Asm.I Instr.Halt ]
+  in
+  (match Asm.assemble duplicate with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate label accepted");
+  let dangles = [ Asm.I Instr.Nop; Asm.Label "end" ] in
+  match Asm.assemble (dangles @ [ Asm.I (Instr.B (Cond.Al, "end")) ]) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "label before trailing instr rejected: %s" e
+
+let test_disassembly_strings () =
+  let check i expect =
+    Alcotest.(check string) expect expect (Format.asprintf "%a" Instr.pp_resolved i)
+  in
+  check (Instr.Mul_asp { bits = 8; signed = true; rd = r 4; rn = r 5; shift = 8 })
+    "mul_asp8s r4, r5, <<8";
+  check (Instr.Add_asv (16, r 0, r 1, r 2)) "add_asv16 r0, r1, r2";
+  check (Instr.Skm 7) "skm 7";
+  check (Instr.Ldr { width = Instr.Byte; signed = false; rd = r 1; base = r 2; off = 3 })
+    "ldrb r1, [r2, #3]"
+
+let test_reg_names () =
+  Alcotest.(check string) "sp" "sp" (Reg.to_string Reg.sp);
+  Alcotest.(check string) "lr" "lr" (Reg.to_string Reg.lr);
+  Alcotest.(check string) "pc" "pc" (Reg.to_string Reg.pc);
+  Alcotest.(check string) "r4" "r4" (Reg.to_string (r 4));
+  Alcotest.(check int) "allocatable excludes sp/lr/pc" 13
+    (List.length Reg.allocatable);
+  Alcotest.check_raises "r 16" (Invalid_argument "Reg.r") (fun () ->
+      ignore (r 16))
+
+let () =
+  Alcotest.run "wn.isa"
+    [
+      ( "cond",
+        [
+          Alcotest.test_case "truth table" `Quick test_cond_table;
+          Alcotest.test_case "codes" `Quick test_cond_codes;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "latencies" `Quick test_latencies;
+          Alcotest.test_case "WN classification" `Quick test_wn_classification;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "sample round trip" `Quick test_encode_roundtrip;
+          Alcotest.test_case "range checks" `Quick test_encode_rejects_out_of_range;
+          Alcotest.test_case "garbage rejected" `Quick test_decode_rejects_garbage;
+          Alcotest.test_case "program round trip" `Quick test_program_roundtrip;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "labels" `Quick test_assemble_labels;
+          Alcotest.test_case "errors" `Quick test_assemble_errors;
+          Alcotest.test_case "disassembly" `Quick test_disassembly_strings;
+          Alcotest.test_case "register names" `Quick test_reg_names;
+        ] );
+    ]

@@ -1,0 +1,89 @@
+(* Tests for wn.mem: byte-addressable little-endian memory. *)
+
+open Wn_mem
+
+let test_widths_little_endian () =
+  let m = Memory.create ~size:64 in
+  Memory.write32 m 0 0xDEADBEEF;
+  Alcotest.(check int) "byte 0 is LSB" 0xEF (Memory.read8 m 0);
+  Alcotest.(check int) "byte 3 is MSB" 0xDE (Memory.read8 m 3);
+  Alcotest.(check int) "low half" 0xBEEF (Memory.read16 m 0);
+  Alcotest.(check int) "high half" 0xDEAD (Memory.read16 m 2);
+  Alcotest.(check int) "word" 0xDEADBEEF (Memory.read32 m 0);
+  Memory.write16 m 8 0x8001;
+  Alcotest.(check int) "u16" 0x8001 (Memory.read16 m 8);
+  Alcotest.(check int) "s16" (-32767) (Memory.read16_signed m 8);
+  Memory.write8 m 12 0xFF;
+  Alcotest.(check int) "s8" (-1) (Memory.read8_signed m 12)
+
+let test_truncation () =
+  let m = Memory.create ~size:16 in
+  Memory.write8 m 0 0x1FF;
+  Alcotest.(check int) "byte truncates" 0xFF (Memory.read8 m 0);
+  Memory.write16 m 2 0x12345;
+  Alcotest.(check int) "half truncates" 0x2345 (Memory.read16 m 2);
+  Memory.write32 m 4 (-1);
+  Alcotest.(check int) "word wraps" 0xFFFFFFFF (Memory.read32 m 4)
+
+let test_bounds () =
+  let m = Memory.create ~size:8 in
+  Alcotest.check_raises "read32 past end"
+    (Invalid_argument "Memory.read32: address 5 out of bounds") (fun () ->
+      ignore (Memory.read32 m 5));
+  Alcotest.check_raises "negative address"
+    (Invalid_argument "Memory.read8: address -1 out of bounds") (fun () ->
+      ignore (Memory.read8 m (-1)))
+
+let test_snapshot_restore () =
+  let m = Memory.create ~size:32 in
+  Memory.write32 m 0 42;
+  let snap = Memory.snapshot m in
+  Memory.write32 m 0 99;
+  Memory.restore m snap;
+  Alcotest.(check int) "restored" 42 (Memory.read32 m 0);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Memory.restore: size mismatch") (fun () ->
+      Memory.restore m (Bytes.create 4))
+
+let test_stats () =
+  let m = Memory.create ~size:32 in
+  ignore (Memory.read8 m 0);
+  ignore (Memory.read32 m 4);
+  Memory.write16 m 8 7;
+  Alcotest.(check (pair int int)) "counts" (2, 1) (Memory.read_stats m);
+  Memory.reset_stats m;
+  Alcotest.(check (pair int int)) "reset" (0, 0) (Memory.read_stats m)
+
+let test_region_blit_fill () =
+  let m = Memory.create ~size:32 in
+  Memory.blit_in m ~addr:4 (Bytes.of_string "\x01\x02\x03");
+  Alcotest.(check int) "blit" 0x030201 (Memory.read32 m 4 land 0xFFFFFF);
+  Alcotest.(check string) "region" "\x01\x02\x03"
+    (Bytes.to_string (Memory.region m ~addr:4 ~len:3));
+  Memory.fill m ~addr:4 ~len:3 0xAA;
+  Alcotest.(check int) "fill" 0xAA (Memory.read8 m 5);
+  Memory.clear m;
+  Alcotest.(check int) "clear" 0 (Memory.read32 m 4)
+
+let prop_rw_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"write32/read32 round-trips"
+    QCheck.(pair (int_bound 28) (int_bound 0xFFFFFFF))
+    (fun (addr, v) ->
+      let m = Memory.create ~size:32 in
+      Memory.write32 m addr v;
+      Memory.read32 m addr = v)
+
+let () =
+  Alcotest.run "wn.mem"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "little endian widths" `Quick test_widths_little_endian;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "region/blit/fill" `Quick test_region_blit_fill;
+          QCheck_alcotest.to_alcotest prop_rw_roundtrip;
+        ] );
+    ]

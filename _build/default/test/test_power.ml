@@ -1,0 +1,144 @@
+(* Tests for wn.power: traces, the capacitor and the supply. *)
+
+open Wn_power
+
+let test_trace_basics () =
+  let t = Trace.constant ~power:1e-3 ~duration_s:0.1 in
+  Alcotest.(check int) "100 ticks" 100 (Trace.length t);
+  Alcotest.(check (float 1e-9)) "duration" 0.1 (Trace.duration_s t);
+  Alcotest.(check (float 1e-9)) "sample" 1e-3 (Trace.power_at_tick t 5);
+  Alcotest.(check (float 1e-9)) "wraps" 1e-3 (Trace.power_at_tick t 105);
+  Alcotest.(check (float 1e-9)) "mean" 1e-3 (Trace.mean_power t);
+  Alcotest.(check (float 1e-9)) "duty" 1.0 (Trace.duty_cycle t)
+
+let test_trace_square () =
+  let t = Trace.square ~on_ms:2 ~off_ms:8 ~power:1e-3 ~duration_s:0.1 in
+  Alcotest.(check (float 1e-9)) "on" 1e-3 (Trace.power_at_tick t 1);
+  Alcotest.(check (float 1e-9)) "off" 0.0 (Trace.power_at_tick t 5);
+  Alcotest.(check (float 1e-6)) "duty 20%" 0.2 (Trace.duty_cycle t)
+
+let test_trace_rf_burst () =
+  let t = Trace.rf_burst ~seed:1 ~duration_s:10.0 () in
+  let duty = Trace.duty_cycle t in
+  if duty < 0.01 || duty > 0.4 then
+    Alcotest.failf "implausible RF duty cycle %.3f" duty;
+  (* deterministic for a seed *)
+  let t' = Trace.rf_burst ~seed:1 ~duration_s:10.0 () in
+  Alcotest.(check (float 0.0)) "deterministic" (Trace.mean_power t)
+    (Trace.mean_power t');
+  let t2 = Trace.rf_burst ~seed:2 ~duration_s:10.0 () in
+  if Trace.mean_power t = Trace.mean_power t2 then
+    Alcotest.fail "different seeds produced identical traces"
+
+let test_paper_suite () =
+  let traces = Trace.paper_suite ~seed:9 ~duration_s:2.0 () in
+  Alcotest.(check int) "nine traces" 9 (List.length traces);
+  List.iter
+    (fun t -> if Trace.mean_power t <= 0.0 then Alcotest.fail "dead trace")
+    traces
+
+let test_capacitor_hysteresis () =
+  let c = Capacitor.create () in
+  Alcotest.(check bool) "starts on" true (Capacitor.is_on c);
+  Alcotest.(check (float 1e-6)) "starts at v_max" 2.5 (Capacitor.voltage c);
+  (* Drain just past brown-out. *)
+  Capacitor.drain c (Capacitor.usable_energy c +. 1e-9);
+  Alcotest.(check bool) "browned out" false (Capacitor.is_on c);
+  (* A little harvest is not enough: hysteresis waits for v_on. *)
+  Capacitor.harvest c 1e-7;
+  Alcotest.(check bool) "still off below v_on" false (Capacitor.is_on c);
+  Capacitor.harvest c 1.0;
+  Alcotest.(check bool) "back on" true (Capacitor.is_on c);
+  Alcotest.(check (float 1e-6)) "clamped at v_max" 2.5 (Capacitor.voltage c)
+
+let test_capacitor_energy () =
+  let c = Capacitor.create () in
+  (* ½·10µF·(2.5² − 1.8²) ≈ 15.05 µJ of usable charge. *)
+  Alcotest.(check (float 1e-7)) "usable energy" 1.505e-5 (Capacitor.usable_energy c);
+  Alcotest.(check (float 1e-7)) "burst budget" 1.505e-5 (Capacitor.burst_budget c);
+  Capacitor.set_empty c;
+  Alcotest.(check (float 1e-9)) "empty has none" 0.0 (Capacitor.usable_energy c);
+  Capacitor.set_full c;
+  Alcotest.(check bool) "full is on" true (Capacitor.is_on c);
+  Alcotest.check_raises "negative drain" (Invalid_argument "Capacitor.drain")
+    (fun () -> Capacitor.drain c (-1.0))
+
+let test_capacitor_bad_config () =
+  Alcotest.check_raises "v_off above v_on" (Invalid_argument "Capacitor.create")
+    (fun () -> ignore (Capacitor.create ~v_on:1.0 ~v_off:2.0 ()))
+
+let test_supply_accounting () =
+  let s = Supply.always_on () in
+  Alcotest.(check bool) "on" true (Supply.is_on s);
+  ignore (Supply.consume s ~cycles:1000);
+  Alcotest.(check int) "clock advances" 1000 (Supply.now_cycles s);
+  Alcotest.(check (float 1e-12)) "energy accounted"
+    (1000.0 *. Supply.default_cycle_energy)
+    (Supply.energy_consumed s);
+  Alcotest.(check (float 1e-9)) "seconds" (1000.0 /. 24e6) (Supply.now_s s)
+
+let test_supply_outage_and_recovery () =
+  (* A square source: the capacitor must brown out while computing and
+     recover during a burst. *)
+  let trace = Trace.square ~on_ms:5 ~off_ms:20 ~power:2e-3 ~duration_s:1.0 in
+  let supply = Supply.create ~trace ~capacitor:(Capacitor.create ()) () in
+  (* Full charge sustains ~30k cycles at 0.5 nJ/cycle. *)
+  let rec drain_until_out n =
+    if n > 1_000_000 then Alcotest.fail "never browned out"
+    else if Supply.consume supply ~cycles:100 then drain_until_out (n + 1)
+  in
+  drain_until_out 0;
+  Alcotest.(check bool) "off after drain" false (Supply.is_on supply);
+  Alcotest.(check int) "one outage" 1 (Supply.outages supply);
+  let before = Supply.now_cycles supply in
+  let waited = Supply.wait_for_power supply in
+  Alcotest.(check bool) "recovered" true (Supply.is_on supply);
+  Alcotest.(check int) "clock advanced by the wait" (before + waited)
+    (Supply.now_cycles supply);
+  if waited <= 0 then Alcotest.fail "wait took no time"
+
+let test_supply_starved () =
+  let trace = Trace.constant ~power:1e-12 ~duration_s:0.5 in
+  let supply = Supply.create ~trace ~capacitor:(Capacitor.create ()) () in
+  let rec drain () = if Supply.consume supply ~cycles:1000 then drain () in
+  drain ();
+  match Supply.wait_for_power supply with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "starved supply should fail"
+
+let test_burst_length_calibration () =
+  (* The paper's regime: a full charge lasts of the order of a
+     millisecond at 24 MHz (tens of thousands of cycles). *)
+  let trace = Trace.constant ~power:0.0 ~duration_s:0.1 in
+  let supply = Supply.create ~trace ~capacitor:(Capacitor.create ()) () in
+  let cycles = ref 0 in
+  while Supply.consume supply ~cycles:100 do
+    cycles := !cycles + 100
+  done;
+  if !cycles < 10_000 || !cycles > 100_000 then
+    Alcotest.failf "burst of %d cycles is outside the paper's regime" !cycles
+
+let () =
+  Alcotest.run "wn.power"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "constant" `Quick test_trace_basics;
+          Alcotest.test_case "square" `Quick test_trace_square;
+          Alcotest.test_case "rf burst" `Quick test_trace_rf_burst;
+          Alcotest.test_case "paper suite" `Quick test_paper_suite;
+        ] );
+      ( "capacitor",
+        [
+          Alcotest.test_case "hysteresis" `Quick test_capacitor_hysteresis;
+          Alcotest.test_case "energy" `Quick test_capacitor_energy;
+          Alcotest.test_case "bad config" `Quick test_capacitor_bad_config;
+        ] );
+      ( "supply",
+        [
+          Alcotest.test_case "accounting" `Quick test_supply_accounting;
+          Alcotest.test_case "outage and recovery" `Quick test_supply_outage_and_recovery;
+          Alcotest.test_case "starved" `Quick test_supply_starved;
+          Alcotest.test_case "burst calibration" `Quick test_burst_length_calibration;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for wn.runtime: the intermittent executors (always-on, NVP,
+   Clank) and skim-point semantics. *)
+
+open Wn_isa
+open Wn_machine
+open Wn_power
+module Executor = Wn_runtime.Executor
+
+let r = Reg.r
+
+(* A counted-loop program: r0 := iterations of useful work; stores its
+   progress to NVM at address 0 each iteration.  [muls] inserts a
+   16-cycle multiply per iteration to burn energy. *)
+let loop_program ?(iters = 200) ?(muls = 1) () =
+  let body =
+    List.concat
+      (List.init muls (fun _ -> [ Asm.I (Instr.Mul (r 3, r 1, r 1)) ]))
+  in
+  Asm.assemble_exn
+    ([
+       Asm.I (Instr.Mov_imm (r 0, 0));
+       Asm.I (Instr.Mov_imm (r 1, 25));
+       Asm.I (Instr.Mov_imm (r 2, 0));
+       Asm.Label "loop";
+     ]
+    @ body
+    @ [
+        Asm.I (Instr.Alu_imm (Instr.Add, r 0, r 0, 1));
+        Asm.I (Instr.Str { width = Instr.Word; rs = r 0; base = r 2; off = 0 });
+        Asm.I (Instr.Cmp_imm (r 0, iters));
+        Asm.I (Instr.B (Cond.Lt, "loop"));
+        Asm.I Instr.Halt;
+      ])
+
+let fresh ?(program = loop_program ()) () =
+  let mem = Wn_mem.Memory.create ~size:256 in
+  (Machine.create ~program ~mem (), mem)
+
+let bursty_supply () =
+  (* Bursts long enough to recharge, short enough to interrupt the
+     ~5k-cycle loop program several times. *)
+  let trace = Trace.square ~on_ms:6 ~off_ms:10 ~power:2.5e-3 ~duration_s:2.0 in
+  let cap = Capacitor.create ~capacitance:1e-6 () in
+  Supply.create ~trace ~capacitor:cap ()
+
+let test_always_on_completes () =
+  let machine, mem = fresh () in
+  let o = Executor.run ~machine ~supply:(Supply.always_on ()) () in
+  Alcotest.(check bool) "completed" true o.Executor.completed;
+  Alcotest.(check bool) "no skim" false o.Executor.skimmed;
+  Alcotest.(check int) "no outage" 0 o.Executor.outage_count;
+  Alcotest.(check int) "result" 200 (Wn_mem.Memory.read32 mem 0);
+  Alcotest.(check int) "wall = active when always on" o.Executor.active_cycles
+    o.Executor.wall_cycles
+
+let test_nvp_survives_outages () =
+  let machine, mem = fresh ~program:(loop_program ~iters:2000 ~muls:4 ()) () in
+  let supply = bursty_supply () in
+  let o =
+    Executor.run ~policy:(Executor.Nvp Executor.default_nvp) ~machine ~supply ()
+  in
+  Alcotest.(check bool) "completed" true o.Executor.completed;
+  if o.Executor.outage_count = 0 then Alcotest.fail "expected outages";
+  Alcotest.(check int) "exact result despite outages" 2000
+    (Wn_mem.Memory.read32 mem 0);
+  Alcotest.(check int) "NVP never re-executes" 0
+    o.Executor.reexecuted_instructions;
+  if o.Executor.wall_cycles <= o.Executor.active_cycles then
+    Alcotest.fail "wall clock must include off time"
+
+let test_clank_restores_and_reexecutes () =
+  let machine, mem = fresh ~program:(loop_program ~iters:2000 ~muls:4 ()) () in
+  let supply = bursty_supply () in
+  let cfg = { Executor.default_clank with watchdog_period = 1000 } in
+  let o = Executor.run ~policy:(Executor.Clank cfg) ~machine ~supply () in
+  Alcotest.(check bool) "completed" true o.Executor.completed;
+  if o.Executor.outage_count = 0 then Alcotest.fail "expected outages";
+  if o.Executor.checkpoint_count = 0 then Alcotest.fail "expected checkpoints";
+  if o.Executor.reexecuted_instructions = 0 then
+    Alcotest.fail "volatile restore must re-execute work";
+  (* Idempotency machinery must still deliver the exact result. *)
+  Alcotest.(check int) "exact result" 2000 (Wn_mem.Memory.read32 mem 0)
+
+let test_clank_watchdog () =
+  (* Under continuous power the only checkpoint trigger left is the
+     watchdog. *)
+  let machine, _ = fresh ~program:(loop_program ~iters:2000 ~muls:4 ()) () in
+  let cfg =
+    { Executor.default_clank with watchdog_period = 1000; buffer_entries = 1 lsl 20 }
+  in
+  let o =
+    Executor.run ~policy:(Executor.Clank cfg) ~machine
+      ~supply:(Supply.always_on ()) ()
+  in
+  if o.Executor.checkpoint_count < o.Executor.active_cycles / 2000 then
+    Alcotest.failf "watchdog fired only %d times in %d cycles"
+      o.Executor.checkpoint_count o.Executor.active_cycles
+
+let test_clank_war_checkpoint () =
+  (* A read-then-write of the same word forces a checkpoint before the
+     write (idempotency violation). *)
+  let program =
+    Asm.assemble_exn
+      [
+        Asm.I (Instr.Mov_imm (r 1, 0));
+        Asm.I (Instr.Ldr { width = Instr.Word; signed = false; rd = r 2; base = r 1; off = 0 });
+        Asm.I (Instr.Alu_imm (Instr.Add, r 2, r 2, 1));
+        Asm.I (Instr.Str { width = Instr.Word; rs = r 2; base = r 1; off = 0 });
+        Asm.I Instr.Halt;
+      ]
+  in
+  let machine, _ = fresh ~program () in
+  let o =
+    Executor.run
+      ~policy:(Executor.Clank Executor.default_clank)
+      ~machine ~supply:(Supply.always_on ()) ()
+  in
+  Alcotest.(check int) "exactly one violation checkpoint" 1
+    o.Executor.checkpoint_count
+
+(* A skim-able program: sets r0=1 (coarse result), stores it, latches a
+   skim point, then does a long refinement phase before storing 2. *)
+let skim_program refinement_iters =
+  Asm.assemble_exn
+    ([
+       Asm.I (Instr.Mov_imm (r 2, 0));
+       Asm.I (Instr.Mov_imm (r 0, 1));
+       Asm.I (Instr.Str { width = Instr.Word; rs = r 0; base = r 2; off = 0 });
+       Asm.I (Instr.Skm "end");
+       Asm.I (Instr.Mov_imm (r 1, 0));
+       Asm.Label "refine";
+     ]
+    @ [
+        Asm.I (Instr.Mul (r 3, r 1, r 1));
+        Asm.I (Instr.Alu_imm (Instr.Add, r 1, r 1, 1));
+        Asm.I (Instr.Cmp_imm (r 1, refinement_iters));
+        Asm.I (Instr.B (Cond.Lt, "refine"));
+        Asm.I (Instr.Mov_imm (r 0, 2));
+        Asm.I (Instr.Str { width = Instr.Word; rs = r 0; base = r 2; off = 0 });
+        Asm.Label "end";
+        Asm.I Instr.Halt;
+      ])
+
+let test_skim_on_outage_nvp () =
+  let machine, mem = fresh ~program:(skim_program 100_000) () in
+  let supply = bursty_supply () in
+  let o =
+    Executor.run ~policy:(Executor.Nvp Executor.default_nvp) ~machine ~supply ()
+  in
+  Alcotest.(check bool) "completed" true o.Executor.completed;
+  Alcotest.(check bool) "finished via skim" true o.Executor.skimmed;
+  Alcotest.(check int) "approximate result committed" 1
+    (Wn_mem.Memory.read32 mem 0)
+
+let test_skim_on_outage_clank () =
+  let machine, mem = fresh ~program:(skim_program 100_000) () in
+  let supply = bursty_supply () in
+  let o =
+    Executor.run
+      ~policy:(Executor.Clank Executor.default_clank)
+      ~machine ~supply ()
+  in
+  Alcotest.(check bool) "completed" true o.Executor.completed;
+  Alcotest.(check bool) "finished via skim" true o.Executor.skimmed;
+  Alcotest.(check int) "approximate result committed" 1
+    (Wn_mem.Memory.read32 mem 0)
+
+let test_no_skim_runs_to_precise () =
+  let machine, mem = fresh ~program:(skim_program 500) () in
+  let o = Executor.run ~machine ~supply:(Supply.always_on ()) () in
+  Alcotest.(check bool) "completed" true o.Executor.completed;
+  Alcotest.(check bool) "no outage, no skim" false o.Executor.skimmed;
+  Alcotest.(check int) "precise result" 2 (Wn_mem.Memory.read32 mem 0)
+
+let test_halt_at_skim () =
+  let machine, mem = fresh ~program:(skim_program 500) () in
+  let o =
+    Executor.run ~halt_at_skim:true ~machine ~supply:(Supply.always_on ()) ()
+  in
+  Alcotest.(check bool) "completed" true o.Executor.completed;
+  Alcotest.(check bool) "skimmed immediately" true o.Executor.skimmed;
+  Alcotest.(check int) "earliest output" 1 (Wn_mem.Memory.read32 mem 0);
+  match o.Executor.first_skim_active with
+  | Some c when c > 0 && c < 50 -> ()
+  | Some c -> Alcotest.failf "implausible first-skim time %d" c
+  | None -> Alcotest.fail "first skim not recorded"
+
+let test_max_wall_guard () =
+  let machine, _ = fresh ~program:(loop_program ~iters:1_000_00 ~muls:8 ()) () in
+  let o =
+    Executor.run ~max_wall_cycles:1000 ~machine ~supply:(Supply.always_on ()) ()
+  in
+  Alcotest.(check bool) "gave up" false o.Executor.completed
+
+let test_snapshots_fire () =
+  let machine, _ = fresh ~program:(loop_program ~iters:500 ()) () in
+  let count = ref 0 in
+  let o =
+    Executor.run ~snapshot_every:500
+      ~snapshot:(fun ~active_cycles:_ ~wall_cycles:_ -> incr count)
+      ~machine ~supply:(Supply.always_on ()) ()
+  in
+  let expected = o.Executor.active_cycles / 500 in
+  if !count < expected - 1 || !count > expected + 2 then
+    Alcotest.failf "snapshot count %d for %d cycles" !count o.Executor.active_cycles
+
+let () =
+  Alcotest.run "wn.runtime"
+    [
+      ( "always-on",
+        [
+          Alcotest.test_case "completes" `Quick test_always_on_completes;
+          Alcotest.test_case "runs to precise without outage" `Quick
+            test_no_skim_runs_to_precise;
+          Alcotest.test_case "max wall guard" `Quick test_max_wall_guard;
+          Alcotest.test_case "snapshots" `Quick test_snapshots_fire;
+        ] );
+      ( "nvp",
+        [
+          Alcotest.test_case "survives outages" `Quick test_nvp_survives_outages;
+          Alcotest.test_case "skim on outage" `Quick test_skim_on_outage_nvp;
+        ] );
+      ( "clank",
+        [
+          Alcotest.test_case "restore and re-execute" `Quick
+            test_clank_restores_and_reexecutes;
+          Alcotest.test_case "watchdog" `Quick test_clank_watchdog;
+          Alcotest.test_case "WAR checkpoint" `Quick test_clank_war_checkpoint;
+          Alcotest.test_case "skim on outage" `Quick test_skim_on_outage_clank;
+        ] );
+      ( "skim",
+        [ Alcotest.test_case "halt at skim" `Quick test_halt_at_skim ] );
+    ]
