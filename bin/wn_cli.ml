@@ -6,6 +6,7 @@
      wn curve BENCH ...           runtime-quality curve as CSV
      wn figure ID ...             regenerate a table/figure of the paper
      wn disasm BENCH ...          show the compiled WN-32 program
+     wn lint BENCH ...            static verification of the compiled program
      wn source BENCH ...          show the generated WNC source *)
 
 open Cmdliner
@@ -32,10 +33,17 @@ let bench_arg =
     & info [] ~docv:"BENCH"
         ~doc:"Benchmark name (Conv2d, MatMul, MatAdd, Home, Var, NetMotion).")
 
+(* Compiler failures (bad --bits for a benchmark's pragmas, strict
+   verification, ...) surface as clean cmdliner errors, not tracebacks. *)
+let catch_compile_error f =
+  match f () with
+  | r -> r
+  | exception Wn_compiler.Compile.Error e -> Error (`Msg e)
+
 let find_bench scale name =
-  match Suite.find scale name with
-  | w -> Ok w
-  | exception Not_found ->
+  match Suite.find_opt scale name with
+  | Some w -> Ok w
+  | None ->
       Error (`Msg (Printf.sprintf "unknown benchmark %S (try `wn list')" name))
 
 (* ---------------- wn list ---------------- *)
@@ -81,6 +89,7 @@ let run_bench bench_name scale bits precise system seed =
   match find_bench scale bench_name with
   | Error e -> Error e
   | Ok w ->
+      catch_compile_error @@ fun () ->
       let cfg = { Workload.bits; provisioned = true } in
       let b = Wn_core.Runner.build ~precise w cfg in
       let rng = Wn_util.Rng.create seed in
@@ -150,6 +159,7 @@ let curve_cmd =
     match find_bench scale bench with
     | Error e -> Error e
     | Ok w ->
+        catch_compile_error @@ fun () ->
         let c =
           Wn_core.Curves.runtime_quality ~points ~vector_loads
             ~provisioned:(not unprov) ~seed ~bits w
@@ -214,12 +224,13 @@ let build_compiled bench scale bits precise =
   match find_bench scale bench with
   | Error e -> Error e
   | Ok w ->
-      let cfg = { Workload.bits; provisioned = true } in
-      let options =
-        if precise then Wn_compiler.Compile.precise
-        else Wn_compiler.Compile.anytime
-      in
-      Ok (w, Wn_compiler.Compile.compile_source ~options (w.Workload.source cfg))
+      catch_compile_error (fun () ->
+          let cfg = { Workload.bits; provisioned = true } in
+          let options =
+            if precise then Wn_compiler.Compile.precise
+            else Wn_compiler.Compile.anytime
+          in
+          Ok (w, Wn_compiler.Compile.compile_source ~options (w.Workload.source cfg)))
 
 let disasm_cmd =
   let run bench scale bits precise =
@@ -243,6 +254,35 @@ let disasm_cmd =
       term_result
         (const run $ bench_arg $ scale_arg $ bits_arg $ precise_arg))
 
+let lint_cmd =
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero if any error-severity finding is reported.")
+  in
+  let run bench scale bits precise strict =
+    match build_compiled bench scale bits precise with
+    | Error e -> Error e
+    | Ok (w, compiled) ->
+        let diags = Wn_compiler.Compile.lint compiled in
+        Format.printf "%s (%s, %d-bit): %a@." w.Workload.name
+          (if precise then "precise" else "anytime")
+          bits Wn_analysis.Diag.pp_report diags;
+        if strict && Wn_analysis.Diag.worst diags = Some Wn_analysis.Diag.Error
+        then Error (`Msg "static verification failed")
+        else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static verifier (CFG, liveness, skim safety, WAR \
+          hazards) over a benchmark's compiled program")
+    Term.(
+      term_result
+        (const run $ bench_arg $ scale_arg $ bits_arg $ precise_arg
+       $ strict_arg))
+
 let source_cmd =
   let run bench scale bits =
     match find_bench scale bench with
@@ -263,4 +303,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; curve_cmd; figure_cmd; disasm_cmd; source_cmd ]))
+          [ list_cmd; run_cmd; curve_cmd; figure_cmd; disasm_cmd; lint_cmd;
+            source_cmd ]))

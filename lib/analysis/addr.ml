@@ -1,0 +1,127 @@
+open Wn_isa
+
+type sym = { sym_name : string; sym_addr : int; sym_bytes : int }
+type value = Const of int | Base_plus of int | Any
+
+type access = {
+  acc_pc : int;
+  acc_store : bool;
+  acc_width : int;
+  acc_addr : value;
+  acc_sym : string option;
+  acc_lo : int;
+  acc_hi : int;
+  acc_exact : bool;
+}
+
+let width_bytes = function Instr.Byte -> 1 | Instr.Half -> 2 | Instr.Word -> 4
+
+let add_value a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x + y)
+  | Const x, Base_plus y | Base_plus y, Const x -> Base_plus (x + y)
+  | Const x, Any | Any, Const x -> Base_plus x
+  | _ -> Any
+
+let sub_const a n =
+  match a with
+  | Const x -> Const (x - n)
+  | Base_plus x -> Base_plus (x - n)
+  | Any -> Any
+
+(* Abstract effect of one instruction on the register file. *)
+let transfer regs (i : int Instr.t) =
+  let set r v = regs.(Reg.index r) <- v in
+  let get r = regs.(Reg.index r) in
+  match i with
+  | Instr.Mov_imm (rd, n) -> set rd (Const n)
+  | Instr.Movt (rd, hi) ->
+      set rd
+        (match get rd with
+        | Const c -> Const ((c land 0xffff) lor (hi lsl 16))
+        | _ -> Any)
+  | Instr.Mov (rd, rm) -> set rd (get rm)
+  | Instr.Alu (Instr.Add, rd, rn, rm) -> set rd (add_value (get rn) (get rm))
+  | Instr.Alu_imm (Instr.Add, rd, rn, n) -> set rd (add_value (get rn) (Const n))
+  | Instr.Alu_imm (Instr.Sub, rd, rn, n) -> set rd (sub_const (get rn) n)
+  | Instr.Shift (Instr.Lsl, rd, rn, n) ->
+      set rd (match get rn with Const c -> Const (c lsl n) | _ -> Any)
+  | i -> List.iter (fun r -> set r Any) (Instr.defs i)
+
+let find_sym symbols a =
+  List.find_opt
+    (fun s -> a >= s.sym_addr && a < s.sym_addr + s.sym_bytes)
+    symbols
+
+let resolve symbols ~pc ~store ~width addr =
+  let unresolved exact =
+    {
+      acc_pc = pc;
+      acc_store = store;
+      acc_width = width;
+      acc_addr = addr;
+      acc_sym = None;
+      acc_lo = 0;
+      acc_hi = 0;
+      acc_exact = exact;
+    }
+  in
+  match addr with
+  | Any -> unresolved false
+  | Const a -> (
+      match find_sym symbols a with
+      | None -> unresolved true
+      | Some s ->
+          let lo = a - s.sym_addr in
+          {
+            (unresolved true) with
+            acc_sym = Some s.sym_name;
+            acc_lo = lo;
+            acc_hi = lo + width;
+          })
+  | Base_plus a -> (
+      (* The unknown index is a forward element offset: the access can
+         land anywhere from the anchor to the end of its symbol. *)
+      match find_sym symbols a with
+      | None -> unresolved false
+      | Some s ->
+          {
+            (unresolved false) with
+            acc_sym = Some s.sym_name;
+            acc_lo = a - s.sym_addr;
+            acc_hi = s.sym_bytes;
+          })
+
+let accesses ?(symbols = []) (cfg : Cfg.t) =
+  let out = ref [] in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      let regs = Array.make Reg.count Any in
+      for pc = blk.first to blk.last do
+        let get r = regs.(Reg.index r) in
+        (match cfg.program.(pc) with
+        | Instr.Ldr { width; base; off; _ } ->
+            out :=
+              resolve symbols ~pc ~store:false ~width:(width_bytes width)
+                (add_value (get base) (Const off))
+              :: !out
+        | Instr.Str { width; rs = _; base; off } ->
+            out :=
+              resolve symbols ~pc ~store:true ~width:(width_bytes width)
+                (add_value (get base) (Const off))
+              :: !out
+        | Instr.Ldr_reg { width; base; idx; _ } ->
+            out :=
+              resolve symbols ~pc ~store:false ~width:(width_bytes width)
+                (add_value (get base) (get idx))
+              :: !out
+        | Instr.Str_reg { width; rs = _; base; idx } ->
+            out :=
+              resolve symbols ~pc ~store:true ~width:(width_bytes width)
+                (add_value (get base) (get idx))
+              :: !out
+        | _ -> ());
+        transfer regs cfg.program.(pc)
+      done)
+    cfg.blocks;
+  List.rev !out

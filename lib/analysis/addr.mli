@@ -1,0 +1,34 @@
+(** Resolution of memory accesses to data symbols.
+
+    The code generator materialises every base address with
+    [Mov_imm]/[Movt] immediately before the access it serves, so a
+    per-block constant propagation (every block starts from "unknown")
+    is enough to name the symbol behind almost every [Ldr]/[Str].  The
+    one indirect shape — a byte index added to a constant base for
+    sub-word element access — is covered by the [Base_plus] value:
+    a known base plus an unknown non-negative runtime offset. *)
+
+type sym = { sym_name : string; sym_addr : int; sym_bytes : int }
+
+type value =
+  | Const of int  (** register holds exactly this value *)
+  | Base_plus of int  (** this constant plus an unknown runtime index *)
+  | Any
+
+type access = {
+  acc_pc : int;
+  acc_store : bool;
+  acc_width : int;  (** bytes: 1, 2 or 4 *)
+  acc_addr : value;  (** effective address, offset folded in *)
+  acc_sym : string option;  (** symbol the address falls in, if known *)
+  acc_lo : int;  (** first byte touched, relative to the symbol *)
+  acc_hi : int;  (** one past the last byte possibly touched *)
+  acc_exact : bool;
+      (** true when [acc_lo, acc_hi) is the precise byte range; false
+          when the access may land anywhere in it *)
+}
+
+val accesses : ?symbols:sym list -> Cfg.t -> access list
+(** Every memory access in the program, in pc order.  Without
+    [symbols], [acc_sym] is always [None] and the byte range is
+    zero-width. *)

@@ -1,0 +1,27 @@
+let program ?(symbols = []) prog =
+  let cfg = Cfg.build prog in
+  let regflow = Regflow.compute cfg in
+  let accesses = Addr.accesses ~symbols cfg in
+  let structural =
+    List.map
+      (fun pc ->
+        Diag.errorf ~pc ~rule:"falls-off-end"
+          "execution can run past the last instruction (no HALT or \
+           branch ends this path)")
+      cfg.falls_off
+    @ (Array.to_list
+         (Array.mapi
+            (fun pc f ->
+              if f = -1 then
+                Some
+                  (Diag.info ~pc ~rule:"unreachable"
+                     "no function entry reaches this instruction")
+              else None)
+            cfg.func_of)
+      |> List.filter_map Fun.id)
+  in
+  structural
+  @ Regflow.diagnostics regflow
+  @ Skim.check cfg regflow ~accesses
+  @ War.check cfg ~accesses
+  |> List.sort Diag.compare

@@ -1,0 +1,17 @@
+(** Whole-program static verification of a resolved WN-32 binary.
+
+    Runs every analysis in the library over one program and collects
+    the diagnostics:
+
+    - structural: execution falling off the end of the program
+      ([falls-off-end], error) and instructions no function entry
+      reaches ([unreachable], info);
+    - register dataflow: {!Regflow.diagnostics};
+    - skim-point safety: {!Skim.check};
+    - WAR / idempotency: {!War.check}. *)
+
+val program :
+  ?symbols:Addr.sym list -> int Wn_isa.Instr.t array -> Diag.t list
+(** Diagnostics in severity order (worst first).  [symbols] enables
+    the memory-aware checks; without it only structural and register
+    diagnostics are produced. *)

@@ -1,0 +1,51 @@
+type 'a spec = {
+  init : int -> 'a;
+  transfer : int -> 'a -> 'a;
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+}
+
+(* Round-robin to fixpoint.  [edges_in b] are the blocks whose
+   post-values flow into [b]; [base b] says whether [b] also receives
+   the boundary value (function entries forward, exits backward). *)
+let solve nb spec ~edges_in ~base =
+  let pre = Array.init nb (fun b -> spec.init b) in
+  let post = Array.init nb (fun b -> spec.transfer b pre.(b)) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nb - 1 do
+      let incoming =
+        List.map (fun p -> post.(p)) (edges_in b)
+        @ (if base b then [ spec.init b ] else [])
+      in
+      match incoming with
+      | [] -> ()
+      | v :: rest ->
+          let joined = List.fold_left spec.join v rest in
+          if not (spec.equal joined pre.(b)) then begin
+            pre.(b) <- joined;
+            post.(b) <- spec.transfer b joined;
+            changed := true
+          end
+    done
+  done;
+  (pre, post)
+
+let forward (cfg : Cfg.t) spec =
+  let nb = Array.length cfg.blocks in
+  let entry_blocks =
+    List.map (fun e -> cfg.block_of.(e)) cfg.entries
+  in
+  let base b = cfg.pred.(b) = [] || List.mem b entry_blocks in
+  solve nb spec ~edges_in:(fun b -> (cfg.pred : int list array).(b)) ~base
+
+let backward (cfg : Cfg.t) spec =
+  let nb = Array.length cfg.blocks in
+  let base b = cfg.succ.(b) = [] in
+  (* Flowing against the edges, [solve]'s pre is the block's out-value
+     and its post the in-value. *)
+  let outs, ins =
+    solve nb spec ~edges_in:(fun b -> (cfg.succ : int list array).(b)) ~base
+  in
+  (ins, outs)

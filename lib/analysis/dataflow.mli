@@ -1,0 +1,27 @@
+(** Generic iterative dataflow over the basic blocks of a {!Cfg.t}.
+
+    The solver runs a round-robin worklist to a fixpoint.  Values are
+    joined at control-flow merges with [join]; a block's [transfer]
+    maps its in-value to its out-value (callers re-walk the block's
+    instructions when they need per-pc facts).  Functions are
+    disconnected components of the intraprocedural graph, so a single
+    solve covers the whole program; blocks with no in-edges (function
+    entries, restore points) start from [init]. *)
+
+type 'a spec = {
+  init : int -> 'a;
+      (** starting in-value (forward) / out-value (backward) of a block
+          with no predecessors / successors, by block index *)
+  transfer : int -> 'a -> 'a;  (** block index, in-value -> out-value *)
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+}
+
+val forward : Cfg.t -> 'a spec -> 'a array * 'a array
+(** [(ins, outs)] per block: [ins.(b)] is the join over predecessors'
+    outs (or [init b] with none), [outs.(b) = transfer b ins.(b)]. *)
+
+val backward : Cfg.t -> 'a spec -> 'a array * 'a array
+(** [(ins, outs)] per block, flowing against the edges: [outs.(b)] is
+    the join over successors' ins (or [init b] with none), and
+    [ins.(b) = transfer b outs.(b)]. *)

@@ -1,0 +1,60 @@
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  rule : string;
+  pc : int option;
+  symbol : string option;
+  message : string;
+}
+
+let make severity ?pc ?symbol ~rule message =
+  { severity; rule; pc; symbol; message }
+
+let info ?pc ?symbol ~rule message = make Info ?pc ?symbol ~rule message
+let warning ?pc ?symbol ~rule message = make Warning ?pc ?symbol ~rule message
+let error ?pc ?symbol ~rule message = make Error ?pc ?symbol ~rule message
+
+let errorf ?pc ?symbol ~rule fmt =
+  Printf.ksprintf (fun s -> error ?pc ?symbol ~rule s) fmt
+
+let warningf ?pc ?symbol ~rule fmt =
+  Printf.ksprintf (fun s -> warning ?pc ?symbol ~rule s) fmt
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match Option.compare Int.compare a.pc b.pc with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let worst ds =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when severity_rank s <= severity_rank d.severity -> acc
+      | _ -> Some d.severity)
+    None ds
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]" (severity_name d.severity) d.rule;
+  (match d.pc with Some pc -> Format.fprintf ppf " pc %d" pc | None -> ());
+  (match d.symbol with Some s -> Format.fprintf ppf " (%s)" s | None -> ());
+  Format.fprintf ppf ": %s" d.message
+
+let pp_report ppf = function
+  | [] -> Format.fprintf ppf "clean (no diagnostics)"
+  | ds ->
+      let ds = List.sort compare ds in
+      List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
+      let count s = List.length (List.filter (fun d -> d.severity = s) ds) in
+      Format.fprintf ppf "%d diagnostics (%d errors, %d warnings, %d notes)"
+        (List.length ds) (count Error) (count Warning) (count Info)

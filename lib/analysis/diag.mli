@@ -1,0 +1,45 @@
+(** Structured diagnostics emitted by the static verifier.
+
+    Every finding carries a severity, the rule that produced it, the
+    program counter it anchors to (when meaningful) and, for memory
+    hazards, the symbol involved.  Diagnostics are plain values so
+    callers can filter, count or raise on them; {!pp} renders the
+    one-line form used by [wn lint]. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable rule identifier, e.g. ["war-self-update"] *)
+  pc : int option;  (** instruction address the finding anchors to *)
+  symbol : string option;  (** data symbol involved, for memory hazards *)
+  message : string;
+}
+
+val info : ?pc:int -> ?symbol:string -> rule:string -> string -> t
+val warning : ?pc:int -> ?symbol:string -> rule:string -> string -> t
+val error : ?pc:int -> ?symbol:string -> rule:string -> string -> t
+
+val errorf :
+  ?pc:int -> ?symbol:string -> rule:string ->
+  ('a, unit, string, t) format4 -> 'a
+
+val warningf :
+  ?pc:int -> ?symbol:string -> rule:string ->
+  ('a, unit, string, t) format4 -> 'a
+
+val severity_name : severity -> string
+
+val compare : t -> t -> int
+(** Orders by severity (errors first), then program counter, then
+    rule. *)
+
+val worst : t list -> severity option
+(** Highest severity present, [None] on a clean report. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error\[war-hazard\] pc 42 (x): message]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** Sorted list of {!pp} lines followed by a count summary; prints
+    ["clean (no diagnostics)"] for the empty list. *)

@@ -1,0 +1,171 @@
+open Wn_isa
+
+type t = {
+  cfg : Cfg.t;
+  live_in_blk : int array;  (** liveness mask at block entry *)
+  undef_in_blk : int array;  (** possibly-undefined mask at block entry *)
+}
+
+let flag_bit = 1 lsl 16
+let all_regs_mask = (1 lsl 16) - 1
+
+let mask_of_regs rs =
+  List.fold_left (fun m r -> m lor (1 lsl Reg.index r)) 0 rs
+
+let def_mask i =
+  mask_of_regs (Instr.defs i) lor (if Instr.sets_flags i then flag_bit else 0)
+
+let use_mask i =
+  mask_of_regs (Instr.uses i) lor (if Instr.reads_flags i then flag_bit else 0)
+
+let bool_spec =
+  {
+    Dataflow.init = (fun _ -> 0);
+    transfer = (fun _ v -> v);
+    join = ( lor );
+    equal = Int.equal;
+  }
+
+let liveness cfg =
+  let blocks = (cfg : Cfg.t).blocks in
+  let spec =
+    {
+      bool_spec with
+      Dataflow.init =
+        (fun b ->
+          (* Function exits: [Bx_lr] returns to an unknown caller. *)
+          match cfg.program.(blocks.(b).last) with
+          | Instr.Bx_lr -> all_regs_mask lor flag_bit
+          | _ -> 0);
+      transfer =
+        (fun b out ->
+          let live = ref out in
+          for pc = blocks.(b).last downto blocks.(b).first do
+            let i = cfg.program.(pc) in
+            live := !live land lnot (def_mask i) lor use_mask i
+          done;
+          !live);
+    }
+  in
+  let ins, _outs = Dataflow.backward cfg spec in
+  ins
+
+let possibly_undef cfg =
+  let blocks = (cfg : Cfg.t).blocks in
+  let spec =
+    {
+      bool_spec with
+      Dataflow.init =
+        (fun b ->
+          (* Only the task entry starts undefined; other function
+             entries received arguments, and join-only blocks take
+             whatever their predecessors say. *)
+          if blocks.(b).first = 0 then all_regs_mask lor flag_bit else 0);
+      transfer =
+        (fun b inv ->
+          let undef = ref inv in
+          for pc = blocks.(b).first to blocks.(b).last do
+            undef := !undef land lnot (def_mask cfg.program.(pc))
+          done;
+          !undef);
+    }
+  in
+  let ins, _outs = Dataflow.forward cfg spec in
+  ins
+
+let compute cfg =
+  { cfg; live_in_blk = liveness cfg; undef_in_blk = possibly_undef cfg }
+
+(* Per-pc facts are rebuilt by re-walking the pc's block from the
+   stable block-boundary value. *)
+let live_mask_at t pc =
+  let b = t.cfg.block_of.(pc) in
+  let blk = t.cfg.blocks.(b) in
+  (* live-out of the block *)
+  let out =
+    List.fold_left
+      (fun acc s -> acc lor t.live_in_blk.(s))
+      (match t.cfg.program.(blk.last) with
+      | Instr.Bx_lr -> all_regs_mask lor flag_bit
+      | _ -> 0)
+      t.cfg.succ.(b)
+  in
+  let live = ref out in
+  for q = blk.last downto pc do
+    let i = t.cfg.program.(q) in
+    live := !live land lnot (def_mask i) lor use_mask i
+  done;
+  (* The loop ends having applied pc's own transfer: live-in at pc. *)
+  !live
+
+let live_in t pc =
+  let m = live_mask_at t pc in
+  List.filter_map
+    (fun n -> if m land (1 lsl n) <> 0 then Some (Reg.r n) else None)
+    (List.init 16 Fun.id)
+
+let flags_live_in t pc = live_mask_at t pc land flag_bit <> 0
+
+let is_pure_compute (i : int Instr.t) =
+  match i with
+  | Instr.Mov_imm _ | Instr.Movt _ | Instr.Mov _ | Instr.Alu _
+  | Instr.Alu_imm _ | Instr.Shift _ | Instr.Mul _ | Instr.Mul_asp _
+  | Instr.Add_asv _ | Instr.Sub_asv _ | Instr.Sqrt _ | Instr.Sqrt_asp _ ->
+      true
+  | _ -> false
+
+let pp_item n = if n = 16 then "flags" else Reg.to_string (Reg.r n)
+
+let diagnostics t =
+  let cfg = t.cfg in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Array.iteri
+    (fun b (blk : Cfg.block) ->
+      if cfg.func_of.(blk.first) <> -1 then begin
+        (* uninit reads: forward walk with the stable in-mask *)
+        let undef = ref t.undef_in_blk.(b) in
+        for pc = blk.first to blk.last do
+          let i = cfg.program.(pc) in
+          let bad = use_mask i land !undef in
+          if bad <> 0 then
+            List.iter
+              (fun n ->
+                if bad land (1 lsl n) <> 0 then
+                  add
+                    (Diag.warningf ~pc ~rule:"uninit-read"
+                       "%s is read before any write reaches it (it still \
+                        holds the reset value)"
+                       (pp_item n)))
+              (List.init 17 Fun.id);
+          undef := !undef land lnot (def_mask i)
+        done;
+        (* dead stores: backward walk with the stable out-mask *)
+        let out =
+          List.fold_left
+            (fun acc s -> acc lor t.live_in_blk.(s))
+            (match cfg.program.(blk.last) with
+            | Instr.Bx_lr -> all_regs_mask lor flag_bit
+            | _ -> 0)
+            cfg.succ.(b)
+        in
+        let live = ref out in
+        for pc = blk.last downto blk.first do
+          let i = cfg.program.(pc) in
+          (if is_pure_compute i then
+             let dead = def_mask i land lnot !live in
+             if dead <> 0 && def_mask i land !live = 0 then
+               add
+                 (Diag.warningf ~pc ~rule:"dead-store"
+                    "result of this instruction (%s) is never read"
+                    (String.concat ", "
+                       (List.filter_map
+                          (fun n ->
+                            if dead land (1 lsl n) <> 0 then Some (pp_item n)
+                            else None)
+                          (List.init 17 Fun.id)))));
+          live := !live land lnot (def_mask i) lor use_mask i
+        done
+      end)
+    cfg.blocks;
+  !diags

@@ -1,0 +1,32 @@
+(** Register dataflow over a {!Cfg.t}: liveness plus a forward
+    possibly-undefined analysis, and the diagnostics they support.
+
+    Registers and the flags are tracked together as a 17-bit set (16
+    architectural registers plus one flags bit; only [Cmp]/[Cmp_imm]
+    define flags, only conditional branches use them).
+
+    Liveness is conservative at function exits: a [Bx_lr] block
+    assumes everything is live-out (the caller may read any register
+    the callee left), while [Halt] ends the task with nothing live.
+
+    The possibly-undefined analysis starts the task entry (pc 0) with
+    every register and the flags undefined — the machine resets them
+    to zero, so a read before any write observes only the reset value,
+    which generated code never relies on.  Other function entries
+    assume arguments arrived in registers and report nothing. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val live_in : t -> int -> Wn_isa.Reg.t list
+(** Registers live immediately before the instruction at [pc]. *)
+
+val flags_live_in : t -> int -> bool
+
+val diagnostics : t -> Diag.t list
+(** - [uninit-read] (warning): a register or the flags read on some
+      path before any write;
+    - [dead-store] (warning): a pure register-computing instruction
+      whose destination is never read afterwards (memory accesses,
+      calls and flag writers are exempt — they have other effects). *)

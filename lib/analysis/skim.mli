@@ -1,0 +1,21 @@
+(** Skim-point safety (paper Section III-C).
+
+    A [Skm] latches a restore target: after the next outage the
+    executor resumes *at the target* with volatile state scrubbed,
+    instead of rolling back.  That is only sound when
+
+    - the target lies forward of the skim, past the replicas it skips
+      ([skim-backward], error);
+    - some committed store can reach the skim — a skim latched before
+      anything is in NVM guards nothing ([skim-no-commit], error);
+    - nothing volatile is live into the target: registers and flags
+      are scrubbed on a skim restore ([skim-target-live], error);
+    - a target inside a loop does not re-read memory the skipped
+      replicas write — those writes may or may not have happened
+      ([skim-target-rereads], error);
+    - the skim itself is not re-latched every iteration of a loop
+      ([skim-in-loop], warning: legal but each latch commits whatever
+      partial state the iteration left). *)
+
+val check :
+  Cfg.t -> Regflow.t -> accesses:Addr.access list -> Diag.t list

@@ -1,0 +1,107 @@
+open Wn_isa
+module S = Set.Make (String)
+
+(* Must-analysis: true iff a skim has been latched on every path from
+   the function entry to the block's start.  Must-facts iterate down
+   from top, so non-entry blocks start at [true] and only the entry
+   boundary injects [false]; the AND join then erodes exactly the
+   blocks some skim-free path reaches. *)
+let skim_latched_in (cfg : Cfg.t) =
+  let entry_blocks = List.map (fun e -> cfg.block_of.(e)) cfg.entries in
+  let spec =
+    {
+      Dataflow.init = (fun b -> not (List.mem b entry_blocks));
+      transfer =
+        (fun b latched ->
+          let v = ref latched in
+          for pc = cfg.blocks.(b).first to cfg.blocks.(b).last do
+            match cfg.program.(pc) with Instr.Skm _ -> v := true | _ -> ()
+          done;
+          !v);
+      join = ( && );
+      equal = Bool.equal;
+    }
+  in
+  let ins, _ = Dataflow.forward cfg spec in
+  ins
+
+let check (cfg : Cfg.t) ~accesses =
+  let latched_in = skim_latched_in cfg in
+  let acc_at = Hashtbl.create 64 in
+  List.iter (fun (a : Addr.access) -> Hashtbl.replace acc_at a.acc_pc a) accesses;
+  (* Forward taint: for each register, the symbols it was loaded from
+     with no skim latched at the load.  A load's destination carries
+     its source symbol (address taint does not flow through memory);
+     pure computation unions its operands' taints. *)
+  let bot = Array.make Reg.count S.empty in
+  let join a b = Array.init Reg.count (fun i -> S.union a.(i) b.(i)) in
+  let equal a b =
+    let ok = ref true in
+    for i = 0 to Reg.count - 1 do
+      if not (S.equal a.(i) b.(i)) then ok := false
+    done;
+    !ok
+  in
+  (* One instruction's effect on (taint, latched). *)
+  let step taint latched pc =
+    let i = cfg.program.(pc) in
+    (match i with Instr.Skm _ -> latched := true | _ -> ());
+    match Instr.defs i with
+    | [] -> ()
+    | rds ->
+        let v =
+          if Instr.reads_memory i then
+            match Hashtbl.find_opt acc_at pc with
+            | Some { Addr.acc_sym = Some s; _ } when not !latched ->
+                S.singleton s
+            | _ -> S.empty
+          else
+            List.fold_left
+              (fun acc r -> S.union acc taint.(Reg.index r))
+              S.empty (Instr.uses i)
+        in
+        List.iter (fun r -> taint.(Reg.index r) <- v) rds
+  in
+  let spec =
+    {
+      Dataflow.init = (fun _ -> bot);
+      transfer =
+        (fun b inv ->
+          let taint = Array.copy inv in
+          let latched = ref latched_in.(b) in
+          for pc = cfg.blocks.(b).first to cfg.blocks.(b).last do
+            step taint latched pc
+          done;
+          taint);
+      join;
+      equal;
+    }
+  in
+  let ins, _ = Dataflow.forward cfg spec in
+  (* Report: re-walk each block checking stores against the taint of
+     their data operand. *)
+  let diags = ref [] in
+  Array.iteri
+    (fun b (blk : Cfg.block) ->
+      let taint = Array.copy ins.(b) in
+      let latched = ref latched_in.(b) in
+      for pc = blk.first to blk.last do
+        (match cfg.program.(pc) with
+        | Instr.Str { rs; _ } | Instr.Str_reg { rs; _ } -> (
+            match Hashtbl.find_opt acc_at pc with
+            | Some { Addr.acc_sym = Some s; _ }
+              when S.mem s taint.(Reg.index rs) ->
+                diags :=
+                  Diag.errorf ~pc ~symbol:s ~rule:"war-hazard"
+                    "store to %s depends on a value loaded from %s with \
+                     no skim latched: after an outage the re-executed \
+                     read sees the updated value (non-idempotent \
+                     read-modify-write)"
+                    s s
+                  :: !diags
+            | _ -> ())
+        | _ -> ());
+        step taint latched pc
+      done)
+    cfg.blocks;
+  List.rev !diags

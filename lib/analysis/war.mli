@@ -1,0 +1,21 @@
+(** WAR / idempotency hazards over non-volatile data.
+
+    On an NVP-style platform that re-executes from a checkpoint, a
+    read-modify-write of a non-volatile location is the classic
+    non-idempotent pattern: after an outage the re-executed read
+    observes the already-updated value and the update is applied
+    twice.  (The Clank runtime papers over this dynamically by forcing
+    a checkpoint before the WAR store; the static check flags code
+    that would depend on that safety net.)
+
+    The rule: a store to symbol [s] whose stored value is data-tainted
+    by a load from the same [s] is an error — unless a [Skm] has been
+    latched on {e every} path reaching the load, because once a skim
+    is latched an outage restores at the skim target and the
+    read-modify-write can never re-execute.  That is exactly the
+    discipline the anytime transforms follow: refinement passes
+    accumulate into committed output only after the pass-1 skim. *)
+
+val check : Cfg.t -> accesses:Addr.access list -> Diag.t list
+(** [war-hazard] (error): non-idempotent read-modify-write of a
+    non-volatile symbol with no skim latched before the read. *)

@@ -23,6 +23,7 @@ type t = {
   program : int Instr.t array;
   machine_code : int32 array;
   symbols : (string * symbol) list;
+  storage : (string * int * int) list;
   data_bytes : int;
 }
 
@@ -34,7 +35,16 @@ let storage_bytes (g : Ast.global) = g.g_count * Ast.ty_bytes g.g_ty
 
 let align4 n = (n + 3) land lnot 3
 
-let compile ?(options = anytime) (source : Ast.program) =
+let lint t =
+  let symbols =
+    List.map
+      (fun (sym_name, sym_addr, sym_bytes) ->
+        { Wn_analysis.Addr.sym_name; sym_addr; sym_bytes })
+      t.storage
+  in
+  Wn_analysis.Check.program ~symbols t.program
+
+let compile ?(options = anytime) ?(strict = false) (source : Ast.program) =
   let info =
     try Sema.analyze source with Sema.Error e -> err "sema" e
   in
@@ -90,15 +100,33 @@ let compile ?(options = anytime) (source : Ast.program) =
         (g.g_name, { sym_global = g; sym_addr = addr; sym_layout = layout }))
       source.globals
   in
-  { source; info; options; asm; program; machine_code; symbols; data_bytes }
+  let storage =
+    List.map
+      (fun (g : Ast.global) ->
+        (g.g_name, List.assoc g.g_name addresses, storage_bytes g))
+      tr.storage_globals
+  in
+  let t =
+    { source; info; options; asm; program; machine_code; symbols; storage;
+      data_bytes }
+  in
+  (* Post-codegen self-check: the static verifier must accept its own
+     output.  Diagnostics are warnings by default; [strict] promotes
+     error-severity findings to a compilation failure. *)
+  let diags = lint t in
+  (if diags <> [] then
+     if strict && Wn_analysis.Diag.worst diags = Some Wn_analysis.Diag.Error
+     then err "verify" (Format.asprintf "%a" Wn_analysis.Diag.pp_report diags)
+     else Format.eprintf "%a@." Wn_analysis.Diag.pp_report diags);
+  t
 
-let compile_source ?options src =
+let compile_source ?options ?strict src =
   let program =
     try Parser.parse src with
     | Parser.Error e -> err "parse" e
     | Lexer.Error e -> err "lex" e
   in
-  compile ?options program
+  compile ?options ?strict program
 
 let symbol t name =
   match List.assoc_opt name t.symbols with

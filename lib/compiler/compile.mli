@@ -32,6 +32,9 @@ type t = {
   program : int Instr.t array;
   machine_code : int32 array;
   symbols : (string * symbol) list;  (** source-level globals only *)
+  storage : (string * int * int) list;
+      (** every storage-level global the code addresses — including
+          transform-introduced arrays — as (name, address, bytes) *)
   data_bytes : int;  (** size of the data segment *)
 }
 
@@ -39,9 +42,17 @@ exception Error of string
 (** Any front-end, transform or back-end failure, wrapped with its
     stage. *)
 
-val compile : ?options:options -> Wn_lang.Ast.program -> t
+val compile : ?options:options -> ?strict:bool -> Wn_lang.Ast.program -> t
+(** Compiles and then runs the {!Wn_analysis} static verifier over the
+    generated program as a self-check.  Diagnostics print to stderr as
+    warnings by default; with [strict:true] any error-severity finding
+    raises {!Error} (stage ["verify"]). *)
 
-val compile_source : ?options:options -> string -> t
+val compile_source : ?options:options -> ?strict:bool -> string -> t
+
+val lint : t -> Wn_analysis.Diag.t list
+(** Static-verifier diagnostics for an already-compiled program, using
+    its full storage-level symbol table. *)
 
 val symbol : t -> string -> symbol
 (** Raises {!Error} for unknown names. *)

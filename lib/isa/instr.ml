@@ -85,6 +85,43 @@ let cycles ~taken = function
 let reads_memory = function Ldr _ | Ldr_reg _ -> true | _ -> false
 let writes_memory = function Str _ | Str_reg _ -> true | _ -> false
 
+let defs = function
+  | Mov_imm (rd, _) | Movt (rd, _) | Mov (rd, _)
+  | Alu (_, rd, _, _) | Alu_imm (_, rd, _, _) | Shift (_, rd, _, _)
+  | Mul (rd, _, _) | Mul_asp { rd; _ }
+  | Add_asv (_, rd, _, _) | Sub_asv (_, rd, _, _)
+  | Sqrt (rd, _) | Sqrt_asp { rd; _ }
+  | Ldr { rd; _ } | Ldr_reg { rd; _ } ->
+      [ rd ]
+  | Bl _ -> [ Reg.lr ]
+  | Cmp _ | Cmp_imm _ | Str _ | Str_reg _ | B _ | Bx_lr | Skm _ | Nop | Halt
+    ->
+      []
+
+let uses = function
+  | Mov_imm _ -> []
+  | Movt (rd, _) -> [ rd ]
+  | Mov (_, rm) -> [ rm ]
+  | Alu (_, _, rn, rm) -> [ rn; rm ]
+  | Alu_imm (_, _, rn, _) -> [ rn ]
+  | Shift (_, _, rn, _) -> [ rn ]
+  | Mul (_, rn, rm) -> [ rn; rm ]
+  | Mul_asp { rd; rn; _ } -> [ rd; rn ]
+  | Add_asv (_, _, rn, rm) | Sub_asv (_, _, rn, rm) -> [ rn; rm ]
+  | Sqrt (_, rn) | Sqrt_asp { rn; _ } -> [ rn ]
+  | Cmp (rn, rm) -> [ rn; rm ]
+  | Cmp_imm (rn, _) -> [ rn ]
+  | Ldr { base; _ } -> [ base ]
+  | Str { rs; base; _ } -> [ rs; base ]
+  | Ldr_reg { base; idx; _ } -> [ base; idx ]
+  | Str_reg { rs; base; idx; _ } -> [ rs; base; idx ]
+  | Bx_lr -> [ Reg.lr ]
+  | B _ | Bl _ | Skm _ | Nop | Halt -> []
+
+let sets_flags = function Cmp _ | Cmp_imm _ -> true | _ -> false
+
+let reads_flags = function B (c, _) -> c <> Cond.Al | _ -> false
+
 let is_wn_extension = function
   | Mul_asp _ | Add_asv _ | Sub_asv _ | Sqrt_asp _ | Skm _ -> true
   | _ -> false

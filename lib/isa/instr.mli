@@ -26,7 +26,8 @@ type 'lbl t =
   | Mov_imm of Reg.t * int  (** rd := imm16 (zero-extended) *)
   | Movt of Reg.t * int  (** rd\[31:16\] := imm16 *)
   | Mov of Reg.t * Reg.t
-  | Alu of alu_op * Reg.t * Reg.t * Reg.t  (** rd := rn OP rm; sets flags *)
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t
+      (** rd := rn OP rm; flags untouched (only [Cmp]/[Cmp_imm] set them) *)
   | Alu_imm of alu_op * Reg.t * Reg.t * int  (** rd := rn OP imm12 *)
   | Shift of shift_op * Reg.t * Reg.t * int  (** rd := rn SHIFT imm5 *)
   | Mul of Reg.t * Reg.t * Reg.t
@@ -78,6 +79,29 @@ val cycles : taken:bool -> 'lbl t -> int
 
 val reads_memory : 'lbl t -> bool
 val writes_memory : 'lbl t -> bool
+
+val defs : 'lbl t -> Reg.t list
+(** Registers the instruction writes.  [Movt] defines (and uses) its
+    destination — it only replaces the high half.  [Bl] defines [lr].
+    Flags are not registers and are excluded: in WN-32 only [Cmp] and
+    [Cmp_imm] write the flags (ALU instructions leave them untouched,
+    unlike ARM's optional S-forms) — see {!sets_flags}. *)
+
+val uses : 'lbl t -> Reg.t list
+(** Registers the instruction reads, in operand order and possibly with
+    duplicates ([Mul_asp] reads its destination; [Movt] keeps the low
+    half of its destination).  [Bx_lr] uses [lr].  Flags are excluded:
+    conditional branches read them (see {!reads_flags}), and [Adc]/[Sbc]
+    ignore carry-in in this machine (the compiler never emits
+    carry-chained sequences). *)
+
+val sets_flags : 'lbl t -> bool
+(** True only for [Cmp] and [Cmp_imm] — the sole flag writers in
+    WN-32. *)
+
+val reads_flags : 'lbl t -> bool
+(** True for conditional branches ([B] with a condition other than
+    [Al]). *)
 
 val is_wn_extension : 'lbl t -> bool
 (** True for [Mul_asp], [Add_asv], [Sub_asv] and [Skm] — the dynamic

@@ -14,8 +14,11 @@ let extended scale = all scale @ extensions scale
 
 let names = [ "Conv2d"; "MatMul"; "MatAdd"; "Home"; "Var"; "NetMotion" ]
 
-let find scale name =
+let find_opt scale name =
   let lc = String.lowercase_ascii name in
-  List.find
+  List.find_opt
     (fun (w : Workload.t) -> String.lowercase_ascii w.name = lc)
     (extended scale)
+
+let find scale name =
+  match find_opt scale name with Some w -> w | None -> raise Not_found

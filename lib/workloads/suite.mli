@@ -9,8 +9,10 @@ val extensions : Workload.scale -> Workload.t list
 val extended : Workload.scale -> Workload.t list
 (** [all @ extensions]. *)
 
+val find_opt : Workload.scale -> string -> Workload.t option
+(** Case-insensitive lookup by name over [extended]. *)
+
 val find : Workload.scale -> string -> Workload.t
-(** Case-insensitive lookup by name over [extended]; raises
-    [Not_found]. *)
+(** Like {!find_opt}; raises [Not_found] for unknown names. *)
 
 val names : string list

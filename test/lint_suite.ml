@@ -1,0 +1,26 @@
+(* `dune build @lint`: run the static verifier over every benchmark in
+   both build modes and fail if anything is reported. *)
+
+open Wn_workloads
+
+let () =
+  let dirty = ref 0 in
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun (label, options) ->
+          let source = w.Workload.source { Workload.bits = 8; provisioned = true } in
+          let compiled = Wn_compiler.Compile.compile_source ~options source in
+          let diags = Wn_compiler.Compile.lint compiled in
+          Format.printf "%-10s %-8s %a@." w.Workload.name label
+            Wn_analysis.Diag.pp_report diags;
+          if diags <> [] then incr dirty)
+        [
+          ("precise", Wn_compiler.Compile.precise);
+          ("anytime", Wn_compiler.Compile.anytime);
+        ])
+    (Suite.extended Workload.Small);
+  if !dirty > 0 then begin
+    Format.printf "lint: %d configuration(s) with findings@." !dirty;
+    exit 1
+  end

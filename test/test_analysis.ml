@@ -1,0 +1,285 @@
+(* Tests for wn.analysis: CFG construction, register dataflow, and the
+   skim-safety / WAR checkers — including programs seeded with the
+   hazards the verifier exists to catch, and a clean sweep over the
+   whole benchmark suite. *)
+
+open Wn_isa
+open Wn_analysis
+
+let r = Reg.r
+
+(* A small diamond with a loop:
+
+     0: mov   r0, #0
+     1: cmp   r0, #10
+     2: b.ge  7
+     3: mov   r1, r0        ; loop body
+     4: alu   r0 <- r0 + r1
+     5: cmp   r0, #10
+     6: b.lt  3
+     7: halt                                                       *)
+let diamond =
+  [|
+    Instr.Mov_imm (r 0, 0);
+    Instr.Cmp_imm (r 0, 10);
+    Instr.B (Cond.Ge, 7);
+    Instr.Mov (r 1, r 0);
+    Instr.Alu (Instr.Add, r 0, r 0, r 1);
+    Instr.Cmp_imm (r 0, 10);
+    Instr.B (Cond.Lt, 3);
+    Instr.Halt;
+  |]
+
+let test_cfg_blocks () =
+  let cfg = Cfg.build diamond in
+  Alcotest.(check int) "block count" 3 (Array.length cfg.Cfg.blocks);
+  let blk pc = cfg.Cfg.blocks.(cfg.Cfg.block_of.(pc)) in
+  Alcotest.(check int) "loop body starts at 3" 3 (blk 4).Cfg.first;
+  Alcotest.(check int) "loop body ends at 6" 6 (blk 4).Cfg.last;
+  (* the conditional branch block falls through and jumps *)
+  let b2 = cfg.Cfg.block_of.(2) in
+  Alcotest.(check (list int))
+    "succ of header"
+    [ cfg.Cfg.block_of.(3); cfg.Cfg.block_of.(7) ]
+    (List.sort compare cfg.Cfg.succ.(b2));
+  (* the loop body loops back to itself and exits *)
+  let b3 = cfg.Cfg.block_of.(3) in
+  Alcotest.(check bool) "back edge" true (List.mem b3 cfg.Cfg.succ.(b3))
+
+let test_cfg_dominators () =
+  let cfg = Cfg.build diamond in
+  Alcotest.(check bool) "entry dominates all" true (Cfg.dominates cfg 0 7);
+  Alcotest.(check bool) "straight-line order" true (Cfg.dominates cfg 3 6);
+  Alcotest.(check bool) "loop body does not dominate exit" false
+    (Cfg.dominates cfg 3 7);
+  Alcotest.(check bool) "no reverse domination" false (Cfg.dominates cfg 7 0)
+
+let test_cfg_loops () =
+  let cfg = Cfg.build diamond in
+  match Cfg.loops cfg with
+  | [ (header, members) ] ->
+      Alcotest.(check int) "header pc" 3 header;
+      Alcotest.(check (list int)) "members" [ 3; 4; 5; 6 ] members;
+      Alcotest.(check bool) "in_loop inside" true (Cfg.in_loop cfg 4);
+      Alcotest.(check bool) "in_loop outside" false (Cfg.in_loop cfg 0)
+  | l -> Alcotest.failf "expected one loop, got %d" (List.length l)
+
+let test_liveness () =
+  let cfg = Cfg.build diamond in
+  let rf = Regflow.compute cfg in
+  (* r0 is live throughout the loop; r1 only between its def and use *)
+  Alcotest.(check bool) "r0 live into loop" true
+    (List.exists (Reg.equal (r 0)) (Regflow.live_in rf 3));
+  Alcotest.(check bool) "r1 dead before its def" false
+    (List.exists (Reg.equal (r 1)) (Regflow.live_in rf 3));
+  Alcotest.(check bool) "r1 live after its def" true
+    (List.exists (Reg.equal (r 1)) (Regflow.live_in rf 4));
+  (* flags are live between the cmp and the branch *)
+  Alcotest.(check bool) "flags live before branch" true
+    (Regflow.flags_live_in rf 2);
+  Alcotest.(check bool) "flags dead at entry" false (Regflow.flags_live_in rf 0)
+
+let rules ds = List.map (fun d -> d.Diag.rule) ds
+let has_rule rule ds = List.mem rule (rules ds)
+
+let test_uninit_and_dead () =
+  (* r1 is read before any write; the first mov to r2 is dead *)
+  let prog =
+    [|
+      Instr.Mov_imm (r 2, 1);
+      Instr.Mov (r 0, r 1);
+      Instr.Mov_imm (r 2, 2);
+      Instr.Alu (Instr.Add, r 0, r 0, r 2);
+      Instr.Str { width = Instr.Word; rs = r 0; base = r 2; off = 0 };
+      Instr.Halt;
+    |]
+  in
+  let ds = Check.program prog in
+  Alcotest.(check bool) "uninit read flagged" true (has_rule "uninit-read" ds);
+  Alcotest.(check bool) "dead store flagged" true (has_rule "dead-store" ds)
+
+let test_clean_straight_line () =
+  let prog =
+    [|
+      Instr.Mov_imm (r 0, 42);
+      Instr.Mov_imm (r 1, 0x100);
+      Instr.Str { width = Instr.Word; rs = r 0; base = r 1; off = 0 };
+      Instr.Halt;
+    |]
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (rules (Check.program prog))
+
+let test_falls_off_end () =
+  let prog = [| Instr.Mov_imm (r 0, 1) |] in
+  Alcotest.(check bool) "falls off end" true
+    (has_rule "falls-off-end" (Check.program prog))
+
+(* ---------------- seeded skim hazards ---------------- *)
+
+let syms =
+  [ { Addr.sym_name = "x"; sym_addr = 0x100; sym_bytes = 64 } ]
+
+let test_skim_mistargeted () =
+  (* The skim target still needs r0: a skim restore scrubs volatile
+     state, so latching this target loses the value. *)
+  let prog =
+    [|
+      Instr.Mov_imm (r 0, 42);
+      Instr.Mov_imm (r 1, 0x100);
+      Instr.Str { width = Instr.Word; rs = r 0; base = r 1; off = 0 };
+      Instr.Skm 5;
+      Instr.Mov_imm (r 0, 7);
+      (* target: r0 live-in here *)
+      Instr.Alu (Instr.Add, r 2, r 0, r 0);
+      Instr.Mov_imm (r 1, 0x104);
+      Instr.Str { width = Instr.Word; rs = r 2; base = r 1; off = 0 };
+      Instr.Halt;
+    |]
+  in
+  let ds = Check.program ~symbols:syms prog in
+  Alcotest.(check bool) "mis-targeted skim flagged" true
+    (has_rule "skim-target-live" ds);
+  Alcotest.(check bool) "it is an error" true
+    (List.exists
+       (fun d -> d.Diag.rule = "skim-target-live" && d.Diag.severity = Diag.Error)
+       ds)
+
+let test_skim_backward_and_uncommitted () =
+  let prog =
+    [|
+      Instr.Mov_imm (r 0, 1);
+      Instr.Skm 0;
+      Instr.Halt;
+    |]
+  in
+  let ds = Check.program prog in
+  Alcotest.(check bool) "backward target flagged" true
+    (has_rule "skim-backward" ds);
+  (* forward skim with no store anywhere before it *)
+  let prog2 = [| Instr.Mov_imm (r 0, 1); Instr.Skm 2; Instr.Halt |] in
+  Alcotest.(check bool) "uncommitted skim flagged" true
+    (has_rule "skim-no-commit" (Check.program prog2))
+
+(* ---------------- seeded WAR hazard ---------------- *)
+
+let test_war_hand_written () =
+  (* load x[0]; add; store x[0] with no skim latched: the classic
+     non-idempotent read-modify-write. *)
+  let prog =
+    [|
+      Instr.Mov_imm (r 1, 0x100);
+      Instr.Ldr { width = Instr.Word; signed = false; rd = r 0; base = r 1; off = 0 };
+      Instr.Alu_imm (Instr.Add, r 0, r 0, 1);
+      Instr.Str { width = Instr.Word; rs = r 0; base = r 1; off = 0 };
+      Instr.Halt;
+    |]
+  in
+  let ds = Check.program ~symbols:syms prog in
+  Alcotest.(check bool) "war hazard flagged" true (has_rule "war-hazard" ds);
+  Alcotest.(check bool) "war hazard names the symbol" true
+    (List.exists (fun d -> d.Diag.symbol = Some "x") ds)
+
+let test_war_skim_protected () =
+  (* The same read-modify-write is fine once a skim is latched on every
+     path to the load: an outage can no longer re-execute it. *)
+  let prog =
+    [|
+      Instr.Mov_imm (r 1, 0x100);
+      Instr.Mov_imm (r 0, 5);
+      Instr.Str { width = Instr.Word; rs = r 0; base = r 1; off = 0 };
+      Instr.Skm 7;
+      Instr.Ldr { width = Instr.Word; signed = false; rd = r 0; base = r 1; off = 0 };
+      Instr.Alu_imm (Instr.Add, r 0, r 0, 1);
+      Instr.Str { width = Instr.Word; rs = r 0; base = r 1; off = 0 };
+      Instr.Halt;
+    |]
+  in
+  let ds = Check.program ~symbols:syms prog in
+  Alcotest.(check bool) "no war hazard after skim" false (has_rule "war-hazard" ds)
+
+let war_source =
+  "uint32 x[16];\n\n\
+   kernel bump() {\n\
+  \  for (i = 0; i < 16; i += 1) {\n\
+  \    x[i] = x[i] + 1;\n\
+  \  }\n\
+   }\n"
+
+let test_war_compiled () =
+  let compiled = Wn_compiler.Compile.compile_source war_source in
+  let ds = Wn_compiler.Compile.lint compiled in
+  Alcotest.(check bool) "compiled RMW flagged" true (has_rule "war-hazard" ds);
+  Alcotest.(check bool) "strict compile refuses it" true
+    (match Wn_compiler.Compile.compile_source ~strict:true war_source with
+    | _ -> false
+    | exception Wn_compiler.Compile.Error msg ->
+        (* the failure comes from the verify stage *)
+        String.length msg >= 6 && String.sub msg 0 6 = "verify")
+
+(* ---------------- the suite itself must verify clean ---------------- *)
+
+let test_suite_clean () =
+  List.iter
+    (fun (w : Wn_workloads.Workload.t) ->
+      List.iter
+        (fun bits ->
+          List.iter
+            (fun (label, options) ->
+              let source =
+                w.Wn_workloads.Workload.source
+                  { Wn_workloads.Workload.bits; provisioned = true }
+              in
+              match
+                Wn_compiler.Compile.compile_source ~options ~strict:true source
+              with
+              | compiled ->
+                  let ds = Wn_compiler.Compile.lint compiled in
+                  Alcotest.(check (list string))
+                    (Printf.sprintf "%s %s %d-bit"
+                       w.Wn_workloads.Workload.name label bits)
+                    [] (rules ds)
+              | exception Wn_compiler.Compile.Error msg
+                when label = "anytime+vl"
+                     && String.length msg >= 10
+                     && String.sub msg 0 10 = "transform:" ->
+                  (* vector_loads only applies when the asp arrays also
+                     carry asv pragmas; skip benchmarks without them *)
+                  ())
+            [
+              ("precise", Wn_compiler.Compile.precise);
+              ("anytime", Wn_compiler.Compile.anytime);
+              ("anytime+vl", Wn_compiler.Compile.anytime_vector_loads);
+            ])
+        [ 4; 8; 16 ])
+    (Wn_workloads.Suite.extended Wn_workloads.Workload.Small)
+
+let () =
+  Alcotest.run "wn.analysis"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "blocks" `Quick test_cfg_blocks;
+          Alcotest.test_case "dominators" `Quick test_cfg_dominators;
+          Alcotest.test_case "loops" `Quick test_cfg_loops;
+        ] );
+      ( "regflow",
+        [
+          Alcotest.test_case "liveness" `Quick test_liveness;
+          Alcotest.test_case "uninit and dead" `Quick test_uninit_and_dead;
+          Alcotest.test_case "clean program" `Quick test_clean_straight_line;
+          Alcotest.test_case "falls off end" `Quick test_falls_off_end;
+        ] );
+      ( "skim",
+        [
+          Alcotest.test_case "mis-targeted" `Quick test_skim_mistargeted;
+          Alcotest.test_case "backward and uncommitted" `Quick
+            test_skim_backward_and_uncommitted;
+        ] );
+      ( "war",
+        [
+          Alcotest.test_case "hand-written" `Quick test_war_hand_written;
+          Alcotest.test_case "skim-protected" `Quick test_war_skim_protected;
+          Alcotest.test_case "compiled strict" `Quick test_war_compiled;
+        ] );
+      ("suite", [ Alcotest.test_case "lints clean" `Quick test_suite_clean ]);
+    ]
