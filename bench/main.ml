@@ -7,15 +7,20 @@
      dune exec bench/main.exe -- fig9 fig10      # selected experiments
      dune exec bench/main.exe -- --paper-setup   # 9 traces x 3 invocations
      dune exec bench/main.exe -- --paper-scale   # 128x128 conv, 64x64 matmul
+     dune exec bench/main.exe -- --jobs 8        # domain-pool width (default: cores, capped)
      dune exec bench/main.exe -- --out figures   # also write PGM images
-     dune exec bench/main.exe -- --no-micro      # skip the Bechamel pass *)
+     dune exec bench/main.exe -- --no-micro      # skip the Bechamel pass
+
+   Figures go to stdout; per-experiment wall-time lines of the form
+   [fig10: 12.34s wall, 8 jobs] go to stderr, so stdout is bit-identical
+   across --jobs values and the timings stay measurable. *)
 
 open Wn_workloads
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--paper-scale] [--paper-setup] [--out DIR] [--no-micro] \
-     [experiment ...]";
+    "usage: main.exe [--paper-scale] [--paper-setup] [--jobs N] [--out DIR] \
+     [--no-micro] [experiment ...]";
   prerr_endline
     ("experiments: " ^ String.concat " " (List.map fst Wn_core.Figures.all));
   exit 2
@@ -27,7 +32,13 @@ type args = {
 }
 
 let parse_args () =
-  let opts = ref Wn_core.Figures.default_options in
+  let opts =
+    ref
+      {
+        Wn_core.Figures.default_options with
+        Wn_core.Figures.jobs = Wn_exec.Pool.default_jobs ();
+      }
+  in
   let chosen = ref [] in
   let micro = ref true in
   let rec go = function
@@ -38,6 +49,13 @@ let parse_args () =
     | "--paper-setup" :: rest ->
         opts :=
           { !opts with Wn_core.Figures.setup = Wn_core.Intermittent.paper_setup };
+        go rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> opts := { !opts with Wn_core.Figures.jobs = n }
+        | _ ->
+            Printf.eprintf "--jobs needs a positive integer, got %S\n" n;
+            usage ());
         go rest
     | "--out" :: dir :: rest ->
         opts := { !opts with Wn_core.Figures.out_dir = Some dir };
@@ -155,15 +173,25 @@ let () =
   let { opts; chosen; micro } = parse_args () in
   let ppf = Format.std_formatter in
   let ids = if chosen = [] then List.map fst Wn_core.Figures.all else chosen in
-  let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
   List.iter
     (fun id ->
+      let t0 = Unix.gettimeofday () in
       match Wn_core.Figures.run ppf opts id with
-      | Ok () -> Format.pp_print_flush ppf ()
+      | Ok () ->
+          Format.pp_print_flush ppf ();
+          (* Timing goes to stderr: stdout stays bit-identical across
+             --jobs values, which is what the determinism check diffs. *)
+          Printf.eprintf "[%s: %.2fs wall, %d jobs]\n%!" id
+            (Unix.gettimeofday () -. t0)
+            opts.Wn_core.Figures.jobs
       | Error e ->
           prerr_endline e;
           exit 2)
     ids;
-  Printf.printf "\n[experiments done in %.1fs of CPU time]\n%!"
-    (Sys.time () -. t0);
+  Printf.eprintf "\n[experiments done in %.1fs wall / %.1fs cpu, %d jobs]\n%!"
+    (Unix.gettimeofday () -. wall0)
+    (Sys.time () -. cpu0)
+    opts.Wn_core.Figures.jobs;
   if micro && chosen = [] then run_micro opts.Wn_core.Figures.scale

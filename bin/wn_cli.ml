@@ -26,6 +26,17 @@ let seed_arg =
 let bits_arg =
   Arg.(value & opt int 8 & info [ "bits" ] ~docv:"BITS" ~doc:"Subword size (1-16).")
 
+let jobs_arg =
+  let doc =
+    "Domain-pool width for the experiment fan-out (default: the \
+     machine's recommended domain count, capped).  Output is \
+     bit-identical for every value."
+  in
+  Arg.(
+    value
+    & opt int (Wn_exec.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let bench_arg =
   Arg.(
     required
@@ -146,6 +157,15 @@ let run_cmd =
 (* ---------------- wn curve ---------------- *)
 
 let curve_cmd =
+  let benches_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Benchmark name(s) (Conv2d, MatMul, MatAdd, Home, Var, \
+             NetMotion); several run in parallel under $(b,--jobs).")
+  in
   let points_arg =
     Arg.(value & opt int 48 & info [ "points" ] ~doc:"Snapshot density.")
   in
@@ -155,24 +175,34 @@ let curve_cmd =
   let unprov_arg =
     Arg.(value & flag & info [ "unprovisioned" ] ~doc:"Unprovisioned SWV (fig 14).")
   in
-  let run bench scale bits seed points vector_loads unprov =
-    match find_bench scale bench with
+  let run benches scale bits seed points vector_loads unprov jobs =
+    let rec find_all = function
+      | [] -> Ok []
+      | b :: rest -> (
+          match find_bench scale b with
+          | Error e -> Error e
+          | Ok w -> Result.map (fun ws -> w :: ws) (find_all rest))
+    in
+    match find_all benches with
     | Error e -> Error e
-    | Ok w ->
+    | Ok ws ->
         catch_compile_error @@ fun () ->
-        let c =
-          Wn_core.Curves.runtime_quality ~points ~vector_loads
-            ~provisioned:(not unprov) ~seed ~bits w
+        let curves =
+          Wn_core.Curves.suite ~jobs ~points ~vector_loads
+            ~provisioned:(not unprov) ~seed ~bits_list:[ bits ] ws
         in
-        Format.printf "%a@?" Wn_core.Curves.pp c;
+        List.iter (fun c -> Format.printf "%a@?" Wn_core.Curves.pp c) curves;
         Ok ()
   in
   Cmd.v
-    (Cmd.info "curve" ~doc:"Emit a runtime-quality trade-off curve as CSV")
+    (Cmd.info "curve"
+       ~doc:
+         "Emit runtime-quality trade-off curves as CSV (one per \
+          benchmark, computed on a domain pool)")
     Term.(
       term_result
-        (const run $ bench_arg $ scale_arg $ bits_arg $ seed_arg $ points_arg
-       $ vector_arg $ unprov_arg))
+        (const run $ benches_arg $ scale_arg $ bits_arg $ seed_arg $ points_arg
+       $ vector_arg $ unprov_arg $ jobs_arg))
 
 (* ---------------- wn figure ---------------- *)
 
@@ -195,7 +225,7 @@ let figure_cmd =
       & info [ "paper-setup" ]
           ~doc:"Use the paper's 9 traces x 3 invocations for figures 10/11.")
   in
-  let run id scale seed out paper_setup =
+  let run id scale seed out paper_setup jobs =
     let opts =
       {
         Wn_core.Figures.scale;
@@ -204,6 +234,7 @@ let figure_cmd =
           (if paper_setup then Wn_core.Intermittent.paper_setup
            else Wn_core.Intermittent.default_setup);
         out_dir = out;
+        jobs;
       }
     in
     match Wn_core.Figures.run Format.std_formatter opts id with
@@ -216,7 +247,8 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Regenerate a table or figure of the paper")
     Term.(
       term_result
-        (const run $ id_arg $ scale_arg $ seed_arg $ out_arg $ paper_setup_arg))
+        (const run $ id_arg $ scale_arg $ seed_arg $ out_arg $ paper_setup_arg
+       $ jobs_arg))
 
 (* ---------------- wn disasm / wn source ---------------- *)
 

@@ -8,7 +8,7 @@ type memo_point = {
   hit_rate : float;
 }
 
-let memo_sweep ?(seed = 11) ?(sizes = [ 4; 8; 16; 32; 64 ]) scale =
+let memo_sweep ?(jobs = 1) ?(seed = 11) ?(sizes = [ 4; 8; 16; 32; 64 ]) scale =
   let w = Suite.find scale "Conv2d" in
   let point entries =
     let r =
@@ -25,7 +25,7 @@ let memo_sweep ?(seed = 11) ?(sizes = [ 4; 8; 16; 32; 64 ]) scale =
          else float_of_int r.Earliest.memo_hits /. float_of_int lookups);
     }
   in
-  point None :: List.map (fun n -> point (Some n)) sizes
+  Wn_exec.Pool.map ~jobs point (None :: List.map (fun n -> Some n) sizes)
 
 (* ---------------- Clank watchdog period ---------------- *)
 
@@ -35,7 +35,10 @@ type watchdog_point = {
   baseline_reexec : float;
 }
 
-let watchdog_sweep ?(periods = [ 1_000; 4_000; 8_000; 12_000 ])
+(* The intermittent sweeps have few outer points but 9 × 3 experiment
+   units inside each, so [jobs] fans out the units (Intermittent.run)
+   rather than the sweep points. *)
+let watchdog_sweep ?(jobs = 1) ?(periods = [ 1_000; 4_000; 8_000; 12_000 ])
     ?(setup = Intermittent.default_setup) scale =
   let w = Suite.find scale "Var" in
   List.map
@@ -47,7 +50,7 @@ let watchdog_sweep ?(periods = [ 1_000; 4_000; 8_000; 12_000 ])
             { Wn_runtime.Executor.default_clank with watchdog_period = period };
         }
       in
-      let r = Intermittent.run ~setup ~system:Intermittent.Clank ~bits:4 w in
+      let r = Intermittent.run ~jobs ~setup ~system:Intermittent.Clank ~bits:4 w in
       {
         period;
         wd_speedup = r.Intermittent.speedup;
@@ -68,7 +71,7 @@ let burst_cycles_of cycle_energy =
     (Wn_power.Capacitor.burst_budget (Wn_power.Capacitor.create ())
     /. cycle_energy)
 
-let energy_sweep ?(energies = [ 0.5e-9; 1.0e-9; 2.0e-9 ])
+let energy_sweep ?(jobs = 1) ?(energies = [ 0.5e-9; 1.0e-9; 2.0e-9 ])
     ?(setup = Intermittent.default_setup) scale =
   let w = Suite.find scale "Var" in
   List.map
@@ -85,7 +88,7 @@ let energy_sweep ?(energies = [ 0.5e-9; 1.0e-9; 2.0e-9 ])
             { Wn_runtime.Executor.default_clank with watchdog_period = burst / 2 };
         }
       in
-      let r = Intermittent.run ~setup ~system:Intermittent.Clank ~bits:4 w in
+      let r = Intermittent.run ~jobs ~setup ~system:Intermittent.Clank ~bits:4 w in
       {
         cycle_energy;
         burst_cycles = burst;
@@ -102,25 +105,29 @@ type subword_point = {
   sw_nrmse : float;
 }
 
-let subword_sweep ?(seed = 11) ?(bits_list = [ 2; 4; 8 ]) scale =
-  List.concat_map
-    (fun (w : Workload.t) ->
-      let legal =
-        match w.Workload.technique with
-        | Workload.Swp -> bits_list
-        | Workload.Swv -> List.filter (fun b -> b = 4 || b = 8 || b = 16) bits_list
-      in
-      List.map
-        (fun bits ->
-          let r = Earliest.earliest ~seed ~bits w in
-          {
-            workload = w.Workload.name;
-            bits;
-            sw_speedup = Earliest.speedup r;
-            sw_nrmse = r.Earliest.nrmse;
-          })
-        legal)
-    (Suite.all scale)
+let subword_sweep ?(jobs = 1) ?(seed = 11) ?(bits_list = [ 2; 4; 8 ]) scale =
+  let configs =
+    List.concat_map
+      (fun (w : Workload.t) ->
+        let legal =
+          match w.Workload.technique with
+          | Workload.Swp -> bits_list
+          | Workload.Swv ->
+              List.filter (fun b -> b = 4 || b = 8 || b = 16) bits_list
+        in
+        List.map (fun bits -> (w, bits)) legal)
+      (Suite.all scale)
+  in
+  Wn_exec.Pool.map ~jobs
+    (fun ((w : Workload.t), bits) ->
+      let r = Earliest.earliest ~seed ~bits w in
+      {
+        workload = w.Workload.name;
+        bits;
+        sw_speedup = Earliest.speedup r;
+        sw_nrmse = r.Earliest.nrmse;
+      })
+    configs
 
 (* ---------------- printers ---------------- *)
 

@@ -12,8 +12,10 @@ type memo_point = {
   hit_rate : float;  (** table hits / multiply lookups *)
 }
 
-val memo_sweep : ?seed:int -> ?sizes:int list -> Workload.scale -> memo_point list
-(** Default sizes: 4, 8, 16, 32, 64 (plus the no-table baseline). *)
+val memo_sweep :
+  ?jobs:int -> ?seed:int -> ?sizes:int list -> Workload.scale -> memo_point list
+(** Default sizes: 4, 8, 16, 32, 64 (plus the no-table baseline).
+    [jobs] computes the sweep points on a {!Wn_exec.Pool}. *)
 
 (** {2 Clank watchdog period} *)
 
@@ -24,11 +26,13 @@ type watchdog_point = {
 }
 
 val watchdog_sweep :
-  ?periods:int list -> ?setup:Intermittent.setup -> Workload.scale ->
-  watchdog_point list
+  ?jobs:int -> ?periods:int list -> ?setup:Intermittent.setup ->
+  Workload.scale -> watchdog_point list
 (** Sweeps the checkpoint watchdog on the Var benchmark (4-bit).
     Periods larger than a charge burst strand the baseline in
-    re-execution — the pathology skim points remove. *)
+    re-execution — the pathology skim points remove.  [jobs] fans out
+    each point's (trace × invocation) units, not the few sweep
+    points. *)
 
 (** {2 Energy per cycle (burst-length calibration)} *)
 
@@ -39,8 +43,9 @@ type energy_point = {
 }
 
 val energy_sweep :
-  ?energies:float list -> ?setup:Intermittent.setup -> Workload.scale ->
-  energy_point list
+  ?jobs:int -> ?energies:float list -> ?setup:Intermittent.setup ->
+  Workload.scale -> energy_point list
+(** [jobs] fans out each point's (trace × invocation) units. *)
 
 (** {2 Subword granularity across the suite (Figure 15, generalised)} *)
 
@@ -52,9 +57,11 @@ type subword_point = {
 }
 
 val subword_sweep :
-  ?seed:int -> ?bits_list:int list -> Workload.scale -> subword_point list
+  ?jobs:int -> ?seed:int -> ?bits_list:int list -> Workload.scale ->
+  subword_point list
 (** Defaults: every benchmark at 2/4/8-bit subwords (SWV kernels only at
-    4 and 8, their legal sizes). *)
+    4 and 8, their legal sizes).  [jobs] computes the (workload × bits)
+    points on a {!Wn_exec.Pool}. *)
 
 val pp_memo : Format.formatter -> memo_point list -> unit
 val pp_watchdog : Format.formatter -> watchdog_point list -> unit

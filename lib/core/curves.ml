@@ -52,6 +52,22 @@ let runtime_quality ?(points = 48) ?(vector_loads = false) ?(provisioned = true)
     points = List.rev !collected;
   }
 
+(* Every curve is a pure function of (workload, config, seed): the
+   build, machine and inputs are constructed inside [runtime_quality],
+   so per-config jobs can run on any domain and the result list keeps
+   the config order. *)
+let suite ?(jobs = 1) ?points ?vector_loads ?provisioned ~seed ~bits_list
+    workloads =
+  let configs =
+    List.concat_map
+      (fun (w : Workload.t) -> List.map (fun bits -> (w, bits)) bits_list)
+      workloads
+  in
+  Wn_exec.Pool.map ~jobs
+    (fun (w, bits) ->
+      runtime_quality ?points ?vector_loads ?provisioned ~seed ~bits w)
+    configs
+
 let pp ppf c =
   Format.fprintf ppf "# %s, %d-bit%s%s: baseline %d cycles, anytime %d cycles@."
     c.workload c.bits

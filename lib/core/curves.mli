@@ -30,5 +30,19 @@ val runtime_quality :
   curve
 (** [points] (default 48) controls the snapshot density. *)
 
+val suite :
+  ?jobs:int ->
+  ?points:int ->
+  ?vector_loads:bool ->
+  ?provisioned:bool ->
+  seed:int ->
+  bits_list:int list ->
+  Workload.t list ->
+  curve list
+(** One curve per (workload × bits) config, workload-major, in input
+    order.  [jobs] (default 1) computes the configs on a
+    {!Wn_exec.Pool}; curves are pure functions of their seeds, so the
+    list is identical for every [jobs] value. *)
+
 val pp : Format.formatter -> curve -> unit
 (** CSV-like rows: normalised runtime, NRMSE%. *)

@@ -5,11 +5,12 @@ type options = {
   seed : int;
   setup : Intermittent.setup;
   out_dir : string option;
+  jobs : int;
 }
 
 let default_options =
   { scale = Workload.Small; seed = 7; setup = Intermittent.default_setup;
-    out_dir = None }
+    out_dir = None; jobs = 1 }
 
 let hr ppf title = Format.fprintf ppf "@.=== %s ===@." title
 
@@ -124,14 +125,9 @@ let print_curve ppf (c : Curves.curve) =
 
 let fig9 ppf opts =
   hr ppf "Figure 9: runtime-quality trade-off curves (4-bit and 8-bit)";
-  List.iter
-    (fun (w : Workload.t) ->
-      List.iter
-        (fun bits ->
-          print_curve ppf
-            (Curves.runtime_quality ~seed:opts.seed ~bits w))
-        [ 4; 8 ])
-    (Suite.all opts.scale)
+  List.iter (print_curve ppf)
+    (Curves.suite ~jobs:opts.jobs ~seed:opts.seed ~bits_list:[ 4; 8 ]
+       (Suite.all opts.scale))
 
 (* ------------------------------------------------------------------ *)
 
@@ -148,7 +144,9 @@ let intermittent_figure ppf opts system title =
     (fun (w : Workload.t) ->
       List.iter
         (fun bits ->
-          let r = Intermittent.run ~setup:opts.setup ~system ~bits w in
+          let r =
+            Intermittent.run ~jobs:opts.jobs ~setup:opts.setup ~system ~bits w
+          in
           let existing =
             Option.value ~default:[] (Hashtbl.find_opt speedups bits)
           in
@@ -182,10 +180,16 @@ let fig11 ppf opts =
 let fig12 ppf opts =
   hr ppf "Figure 12: MatMul SWP with and without vectorized subword loads";
   let w = Suite.find opts.scale "MatMul" in
+  let runs =
+    Wn_exec.Pool.map ~jobs:opts.jobs
+      (fun bits ->
+        ( bits,
+          Earliest.earliest ~seed:opts.seed ~bits w,
+          Earliest.earliest ~vector_loads:true ~seed:opts.seed ~bits w ))
+      [ 8; 4 ]
+  in
   List.iter
-    (fun bits ->
-      let plain = Earliest.earliest ~seed:opts.seed ~bits w in
-      let vec = Earliest.earliest ~vector_loads:true ~seed:opts.seed ~bits w in
+    (fun (bits, plain, vec) ->
       Format.fprintf ppf
         "%d-bit: earliest output %7d cycles plain, %7d vectorized -> %.2fx \
          earlier (paper: %s), NRMSE %.3f%% both@."
@@ -194,7 +198,7 @@ let fig12 ppf opts =
         /. float_of_int vec.Earliest.active_cycles)
         (if bits = 8 then "1.08x" else "1.24x")
         vec.Earliest.nrmse)
-    [ 8; 4 ]
+    runs
 
 (* ------------------------------------------------------------------ *)
 
@@ -204,21 +208,37 @@ let fig13 ppf opts =
   let row name speedup err =
     Format.fprintf ppf "%-24s %5.2fx  (NRMSE %.2f%%)@." name speedup err
   in
-  let p_plain = Earliest.precise_with ~seed:opts.seed w in
-  let p_memo = Earliest.precise_with ~memo_entries:16 ~zero_skip:true ~seed:opts.seed w in
-  row "precise, no table" (Earliest.speedup p_plain) 0.0;
-  row "precise, 16-entry" (Earliest.speedup p_memo) 0.0;
-  List.iter
-    (fun bits ->
-      let plain = Earliest.earliest ~seed:opts.seed ~bits w in
-      let memo =
-        Earliest.earliest ~memo_entries:16 ~zero_skip:true ~seed:opts.seed ~bits w
-      in
-      row (Printf.sprintf "%d-bit, no table" bits) (Earliest.speedup plain)
-        plain.Earliest.nrmse;
-      row (Printf.sprintf "%d-bit, 16-entry" bits) (Earliest.speedup memo)
-        memo.Earliest.nrmse)
-    [ 8; 4 ];
+  let rows =
+    Wn_exec.Pool.map ~jobs:opts.jobs
+      (fun build ->
+        match build with
+        | `Precise memo ->
+            let r =
+              if memo then
+                Earliest.precise_with ~memo_entries:16 ~zero_skip:true
+                  ~seed:opts.seed w
+              else Earliest.precise_with ~seed:opts.seed w
+            in
+            ( Printf.sprintf "precise, %s" (if memo then "16-entry" else "no table"),
+              Earliest.speedup r,
+              0.0 )
+        | `Anytime (bits, memo) ->
+            let r =
+              if memo then
+                Earliest.earliest ~memo_entries:16 ~zero_skip:true
+                  ~seed:opts.seed ~bits w
+              else Earliest.earliest ~seed:opts.seed ~bits w
+            in
+            ( Printf.sprintf "%d-bit, %s" bits (if memo then "16-entry" else "no table"),
+              Earliest.speedup r,
+              r.Earliest.nrmse ))
+      [
+        `Precise false; `Precise true;
+        `Anytime (8, false); `Anytime (8, true);
+        `Anytime (4, false); `Anytime (4, true);
+      ]
+  in
+  List.iter (fun (name, speedup, err) -> row name speedup err) rows;
   Format.fprintf ppf
     "(paper: precise 1 -> 1.11x; 8-bit 1.31 -> 1.42x; 4-bit 1.7 -> 1.97x)@."
 
@@ -227,13 +247,11 @@ let fig13 ppf opts =
 let fig14 ppf opts =
   hr ppf "Figure 14: provisioned vs unprovisioned SWV addition (MatAdd, 8-bit)";
   let w = Suite.find opts.scale "MatAdd" in
-  List.iter
-    (fun provisioned ->
-      let c =
-        Curves.runtime_quality ~seed:opts.seed ~bits:8 ~provisioned w
-      in
-      print_curve ppf c)
-    [ false; true ];
+  List.iter (print_curve ppf)
+    (Wn_exec.Pool.map ~jobs:opts.jobs
+       (fun provisioned ->
+         Curves.runtime_quality ~seed:opts.seed ~bits:8 ~provisioned w)
+       [ false; true ]);
   Format.fprintf ppf
     "(unprovisioned addition plateaus: dropped carries are unrecoverable; \
      provisioned reaches the precise result)@."
@@ -245,19 +263,19 @@ let fig15 ppf opts =
   let w = Suite.find opts.scale "Conv2d" in
   Format.fprintf ppf "%6s %9s %9s@." "bits" "speedup" "NRMSE";
   List.iter
-    (fun bits ->
-      let e = Earliest.earliest ~seed:opts.seed ~bits w in
+    (fun (bits, e) ->
       Format.fprintf ppf "%6d %8.2fx %8.2f%%@." bits (Earliest.speedup e)
         e.Earliest.nrmse)
-    [ 1; 2; 3; 4; 8 ]
+    (Wn_exec.Pool.map ~jobs:opts.jobs
+       (fun bits -> (bits, Earliest.earliest ~seed:opts.seed ~bits w))
+       [ 1; 2; 3; 4; 8 ])
 
 let fig16 ppf opts =
   hr ppf "Figure 16: Conv2d earliest outputs with small subwords (images)";
   let w = Suite.find opts.scale "Conv2d" in
   let p = Conv2d.params opts.scale in
   List.iter
-    (fun bits ->
-      let e = Earliest.earliest ~seed:opts.seed ~bits w in
+    (fun (bits, e) ->
       let path =
         write_image opts
           (Printf.sprintf "fig16_%dbit" bits)
@@ -267,7 +285,9 @@ let fig16 ppf opts =
       Format.fprintf ppf "%d-bit earliest: NRMSE %6.2f%% at %.2fx speedup%s@."
         bits e.Earliest.nrmse (Earliest.speedup e)
         (match path with Some p -> "  -> " ^ p | None -> ""))
-    [ 1; 2; 3; 4 ]
+    (Wn_exec.Pool.map ~jobs:opts.jobs
+       (fun bits -> (bits, Earliest.earliest ~seed:opts.seed ~bits w))
+       [ 1; 2; 3; 4 ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -303,37 +323,44 @@ let area_power ppf _opts =
 
 let ablation_memo ppf opts =
   hr ppf "Ablation: memoization table size (Conv2d 4-bit, earliest output)";
-  Ablations.pp_memo ppf (Ablations.memo_sweep ~seed:opts.seed opts.scale);
+  Ablations.pp_memo ppf
+    (Ablations.memo_sweep ~jobs:opts.jobs ~seed:opts.seed opts.scale);
   Format.fprintf ppf
     "(paper footnote 5: more than 16 entries buys only modest gains)@."
 
 let ablation_watchdog ppf opts =
   hr ppf "Ablation: Clank watchdog period (Var 4-bit)";
   Ablations.pp_watchdog ppf
-    (Ablations.watchdog_sweep ~setup:opts.setup opts.scale);
+    (Ablations.watchdog_sweep ~jobs:opts.jobs ~setup:opts.setup opts.scale);
   Format.fprintf ppf
     "(periods approaching the ~15k-cycle charge burst strand the baseline      in re-execution — the overhead skim points remove)@."
 
 let ablation_energy ppf opts =
   hr ppf "Ablation: energy per cycle / burst length (Var 4-bit, Clank)";
-  Ablations.pp_energy ppf (Ablations.energy_sweep ~setup:opts.setup opts.scale)
+  Ablations.pp_energy ppf
+    (Ablations.energy_sweep ~jobs:opts.jobs ~setup:opts.setup opts.scale)
 
 let ablation_subword ppf opts =
   hr ppf "Ablation: subword granularity across the suite (earliest output)";
-  Ablations.pp_subword ppf (Ablations.subword_sweep ~seed:opts.seed opts.scale)
+  Ablations.pp_subword ppf
+    (Ablations.subword_sweep ~jobs:opts.jobs ~seed:opts.seed opts.scale)
 
 let ext_sqrt ppf opts =
   hr ppf
     "Extension (footnote 3): anytime square root on the Dist kernel";
   let w = Suite.find opts.scale "Dist" in
   List.iter
-    (fun bits ->
-      let e = Earliest.earliest ~seed:opts.seed ~bits w in
+    (fun (bits, e, c) ->
       Format.fprintf ppf
         "%d-bit stages: earliest root at %.2fx speedup, NRMSE %.2f%%@." bits
         (Earliest.speedup e) e.Earliest.nrmse;
-      print_curve ppf (Curves.runtime_quality ~seed:opts.seed ~bits w))
-    [ 4; 8 ]
+      print_curve ppf c)
+    (Wn_exec.Pool.map ~jobs:opts.jobs
+       (fun bits ->
+         ( bits,
+           Earliest.earliest ~seed:opts.seed ~bits w,
+           Curves.runtime_quality ~seed:opts.seed ~bits w ))
+       [ 4; 8 ])
 
 let all =
   [

@@ -9,10 +9,16 @@ type options = {
   seed : int;
   setup : Intermittent.setup;  (** traces × invocations × samples *)
   out_dir : string option;  (** where figure images (PGM) are written *)
+  jobs : int;
+      (** domain-pool width for the experiment fan-out (see
+          {!Wn_exec.Pool}).  Per-kernel/per-config jobs for the curve
+          and earliest-output figures, per-(trace × invocation) units
+          for the intermittent ones.  Output is bit-identical for every
+          value. *)
 }
 
 val default_options : options
-(** Small scale, 3 traces × 1 × 2, no image output. *)
+(** Small scale, 3 traces × 1 × 2, no image output, 1 job. *)
 
 val table1 : Format.formatter -> options -> unit
 val fig2 : Format.formatter -> options -> unit

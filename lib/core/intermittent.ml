@@ -78,7 +78,77 @@ let run_stream ~cycle_energy build policy trace samples =
       })
     samples
 
-let run ?(setup = default_setup) ~system ~bits (w : Workload.t) =
+(* Per-unit partial results: one (trace, invocation) experiment unit.
+   Units are pure functions of their seeds, so they can run on any
+   domain; aggregation concatenates them in unit order, which is what
+   makes parallel output bit-identical to sequential. *)
+type unit_totals = {
+  u_speedups : float list;  (* in sample order *)
+  u_errors : float list;
+  u_reexecs : float list;
+  u_skims : int;
+  u_outages : int;
+  u_measured : int;
+}
+
+(* Walk the samples and the two measurement streams in lockstep — the
+   three lists are index-aligned by construction, so a single pass
+   replaces the former O(n²) List.nth pairing. *)
+let rec fold3 f acc xs ys zs =
+  match (xs, ys, zs) with
+  | [], [], [] -> acc
+  | x :: xs, y :: ys, z :: zs -> fold3 f (f acc x y z) xs ys zs
+  | _ -> invalid_arg "Intermittent.fold3: stream length mismatch"
+
+let run_unit ~setup ~(w : Workload.t) ~precise ~anytime ~policy
+    (ti, inv, trace) =
+  let rng =
+    Wn_util.Rng.create
+      (setup.input_seed + name_hash w.Workload.name + (7919 * inv)
+     + (104729 * ti))
+  in
+  let samples =
+    List.init setup.samples_per_run (fun _ -> w.Workload.fresh_inputs rng)
+  in
+  let base =
+    run_stream ~cycle_energy:setup.cycle_energy precise policy trace samples
+  in
+  let wn =
+    run_stream ~cycle_energy:setup.cycle_energy anytime policy trace samples
+  in
+  let acc =
+    fold3
+      (fun acc inputs b a ->
+        if b.ok && a.ok then
+          let golden = w.Workload.golden inputs in
+          {
+            u_speedups =
+              (float_of_int b.wall /. float_of_int a.wall) :: acc.u_speedups;
+            u_errors = Runner.nrmse_pct ~reference:golden a.out :: acc.u_errors;
+            u_reexecs = b.reexec_frac :: acc.u_reexecs;
+            u_skims = (acc.u_skims + if a.skimmed then 1 else 0);
+            u_outages = acc.u_outages + a.outages;
+            u_measured = acc.u_measured + 1;
+          }
+        else acc)
+      {
+        u_speedups = [];
+        u_errors = [];
+        u_reexecs = [];
+        u_skims = 0;
+        u_outages = 0;
+        u_measured = 0;
+      }
+      samples base wn
+  in
+  {
+    acc with
+    u_speedups = List.rev acc.u_speedups;
+    u_errors = List.rev acc.u_errors;
+    u_reexecs = List.rev acc.u_reexecs;
+  }
+
+let run ?(jobs = 1) ?(setup = default_setup) ~system ~bits (w : Workload.t) =
   let cfg = { Workload.bits; provisioned = true } in
   let anytime = Runner.build w cfg in
   let precise = Runner.build ~precise:true w cfg in
@@ -91,48 +161,35 @@ let run ?(setup = default_setup) ~system ~bits (w : Workload.t) =
     Wn_power.Trace.paper_suite ~count:setup.n_traces ~seed:setup.trace_seed
       ~duration_s:60.0 ()
   in
-  let speedups = ref [] and errors = ref [] and reexecs = ref [] in
-  let skims = ref 0 and outage_total = ref 0 and total = ref 0 in
-  List.iteri
-    (fun ti trace ->
-      for inv = 0 to setup.invocations - 1 do
-        let rng =
-          Wn_util.Rng.create
-            (setup.input_seed + name_hash w.Workload.name + (7919 * inv)
-           + (104729 * ti))
-        in
-        let samples =
-          List.init setup.samples_per_run (fun _ -> w.Workload.fresh_inputs rng)
-        in
-        let base = run_stream ~cycle_energy:setup.cycle_energy precise policy trace samples in
-        let wn = run_stream ~cycle_energy:setup.cycle_energy anytime policy trace samples in
-        List.iteri
-          (fun i inputs ->
-            let b = List.nth base i and a = List.nth wn i in
-            if b.ok && a.ok then begin
-              let golden = w.Workload.golden inputs in
-              speedups :=
-                (float_of_int b.wall /. float_of_int a.wall) :: !speedups;
-              errors := Runner.nrmse_pct ~reference:golden a.out :: !errors;
-              reexecs := b.reexec_frac :: !reexecs;
-              if a.skimmed then incr skims;
-              outage_total := !outage_total + a.outages;
-              incr total
-            end)
-          samples
-      done)
-    traces;
-  if !total = 0 then failwith "Intermittent.run: no sample completed";
+  let units =
+    List.concat
+      (List.mapi
+         (fun ti trace ->
+           List.init setup.invocations (fun inv -> (ti, inv, trace)))
+         traces)
+  in
+  let totals =
+    Wn_exec.Pool.map ~jobs
+      (run_unit ~setup ~w ~precise ~anytime ~policy)
+      units
+  in
+  let speedups = List.concat_map (fun u -> u.u_speedups) totals in
+  let errors = List.concat_map (fun u -> u.u_errors) totals in
+  let reexecs = List.concat_map (fun u -> u.u_reexecs) totals in
+  let skims = List.fold_left (fun n u -> n + u.u_skims) 0 totals in
+  let outage_total = List.fold_left (fun n u -> n + u.u_outages) 0 totals in
+  let total = List.fold_left (fun n u -> n + u.u_measured) 0 totals in
+  if total = 0 then failwith "Intermittent.run: no sample completed";
   {
     workload = w.Workload.name;
     bits;
     system;
-    speedup = Wn_util.Stats.median (Array.of_list !speedups);
-    nrmse = Wn_util.Stats.median (Array.of_list !errors);
-    skim_rate = float_of_int !skims /. float_of_int !total;
-    outages_per_task = float_of_int !outage_total /. float_of_int !total;
-    baseline_reexec = Wn_util.Stats.mean (Array.of_list !reexecs);
-    samples = !total;
+    speedup = Wn_util.Stats.median (Array.of_list speedups);
+    nrmse = Wn_util.Stats.median (Array.of_list errors);
+    skim_rate = float_of_int skims /. float_of_int total;
+    outages_per_task = float_of_int outage_total /. float_of_int total;
+    baseline_reexec = Wn_util.Stats.mean (Array.of_list reexecs);
+    samples = total;
   }
 
 let pp ppf r =

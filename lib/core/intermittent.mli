@@ -45,6 +45,13 @@ val default_setup : setup
 
 val paper_setup : setup
 
-val run : ?setup:setup -> system:system -> bits:int -> Workload.t -> result
+val run :
+  ?jobs:int -> ?setup:setup -> system:system -> bits:int -> Workload.t -> result
+(** [jobs] (default 1) fans the (trace × invocation) experiment units
+    over a {!Wn_exec.Pool} of that many domains.  Each unit is a pure
+    function of its seeds — trace, RNG, machine, memory and capacitor
+    are all built inside the unit — and per-unit partial results are
+    concatenated in unit order, so the result is bit-identical for
+    every [jobs] value. *)
 
 val pp : Format.formatter -> result -> unit

@@ -1,0 +1,127 @@
+(* A fixed-size domain pool with a Mutex/Condition work queue.
+
+   Workers block on [work] waiting for thunks; [run] enqueues one thunk
+   per list element and then the caller itself drains the queue until
+   its batch completes.  Caller participation is what makes nested
+   [run] calls (a parallel figure whose units themselves fan out) safe:
+   a task that starts a sub-batch keeps executing queued work — its own
+   sub-tasks or anyone else's — instead of blocking a worker slot. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when the queue gains work / at shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.stop then None
+    else begin
+      Condition.wait t.work t.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker t
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let run t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when t.jobs = 1 -> List.map f xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let failed = ref None in
+      let batch_done = Condition.create () in
+      let task i () =
+        let skip =
+          Mutex.lock t.mutex;
+          let s = !failed <> None in
+          Mutex.unlock t.mutex;
+          s
+        in
+        (if not skip then
+           match f input.(i) with
+           | r -> results.(i) <- Some r
+           | exception e ->
+               let bt = Printexc.get_raw_backtrace () in
+               Mutex.lock t.mutex;
+               if !failed = None then failed := Some (e, bt);
+               Mutex.unlock t.mutex);
+        Mutex.lock t.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast batch_done;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (task i) t.queue
+      done;
+      Condition.broadcast t.work;
+      let rec drive () =
+        if !remaining > 0 then
+          if not (Queue.is_empty t.queue) then begin
+            let next = Queue.pop t.queue in
+            Mutex.unlock t.mutex;
+            next ();
+            Mutex.lock t.mutex;
+            drive ()
+          end
+          else begin
+            Condition.wait batch_done t.mutex;
+            drive ()
+          end
+      in
+      drive ();
+      Mutex.unlock t.mutex;
+      (match !failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map (function Some r -> r | None -> assert false) results)
+
+let map ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else
+    let t = create ~jobs:(min jobs (max 1 (List.length xs))) () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t f xs)

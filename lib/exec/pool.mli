@@ -1,0 +1,51 @@
+(** A fixed-size domain pool for the experiment engine.
+
+    Every experiment unit in this repo — one (workload, config, trace,
+    invocation) simulation — is a pure function of its seeds: the
+    machine, memory, capacitor and RNG are all built inside the unit,
+    and the only shared values (compiled programs, harvesting traces)
+    are immutable after construction.  That makes the evaluation
+    embarrassingly parallel, and OCaml 5 domains give it multicore with
+    no new dependencies.
+
+    The pool owns [jobs - 1] worker domains fed from a
+    [Mutex]/[Condition]-protected work queue; the caller of {!run}
+    participates in draining the queue, so nested [run] calls from
+    inside a task cannot deadlock and total concurrency stays at
+    [jobs]. *)
+
+type t
+(** A pool of worker domains.  Values of this type are usable from any
+    domain; a pool must be {!shutdown} exactly once. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] capped at 8 — experiment
+    batches rarely have more than a dozen units in flight, and the
+    simulations are memory-bound beyond that. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (none for
+    [jobs = 1]).  Raises [Invalid_argument] if [jobs < 1].  Default:
+    {!default_jobs}. *)
+
+val jobs : t -> int
+(** The concurrency level (worker domains plus the participating
+    caller). *)
+
+val run : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [run t f xs] applies [f] to every element of [xs] on the pool and
+    returns the results {e in input order}.  With [jobs = 1] (or a
+    singleton/empty list) [f] runs entirely in the caller — no domain
+    is involved.  If any application raises, the first exception (in
+    completion order) is re-raised in the caller with its backtrace
+    once the batch has drained; remaining queued tasks of the batch
+    are skipped. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains.  Idempotent. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [create], {!run}, [shutdown].  [jobs <= 1]
+    degrades to [List.map] in the caller; the pool size is additionally
+    capped at the list length so [jobs > tasks] spawns no idle
+    domains. *)

@@ -51,16 +51,36 @@ let cycles_per_tick t =
 
 let current_tick t = t.cycles / cycles_per_tick t
 
+(* Harvest inflow over [start, start + cycles) cycles, integrated
+   piecewise across trace-tick boundaries: a multi-cycle instruction
+   (the 16-cycle MUL) that spans a burst edge must credit each segment
+   at that segment's power, not the whole instruction at the starting
+   tick's power. *)
+let harvest_over t ~start ~cycles =
+  let per_tick = cycles_per_tick t in
+  let finish = start + cycles in
+  let rec integrate pos acc =
+    if pos >= finish then acc
+    else
+      let tick = pos / per_tick in
+      let seg_end = min finish ((tick + 1) * per_tick) in
+      let seg = seg_end - pos in
+      integrate seg_end
+        (acc
+        +. Trace.power_at_tick t.trace tick
+           *. (float_of_int seg /. t.clock_hz))
+  in
+  integrate start 0.0
+
 let consume t ~cycles =
   if cycles < 0 then invalid_arg "Supply.consume";
-  let tick = current_tick t in
+  let start = t.cycles in
   t.cycles <- t.cycles + cycles;
   let joules = float_of_int cycles *. t.cycle_energy in
   t.consumed <- t.consumed +. joules;
   if t.infinite then true
   else begin
-    let dt = float_of_int cycles /. t.clock_hz in
-    Capacitor.harvest t.capacitor (Trace.power_at_tick t.trace tick *. dt);
+    Capacitor.harvest t.capacitor (harvest_over t ~start ~cycles);
     Capacitor.drain t.capacitor joules;
     let on = Capacitor.is_on t.capacitor in
     if not on then t.outage_count <- t.outage_count + 1;

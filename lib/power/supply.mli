@@ -42,8 +42,11 @@ val is_on : t -> bool
 
 val consume : t -> cycles:int -> bool
 (** Run the core for [cycles] cycles: advances the clock, drains the
-    capacitor, integrates harvest.  Returns [false] if the supply
-    browned out (the core lost power at the end of those cycles). *)
+    capacitor, integrates harvest.  Inflow is integrated piecewise
+    across trace-tick boundaries, so a multi-cycle instruction that
+    spans a burst edge credits each segment at that segment's power.
+    Returns [false] if the supply browned out (the core lost power at
+    the end of those cycles). *)
 
 val wait_for_power : t -> int
 (** Block (advance the clock) until the capacitor recharges to turn-on;

@@ -22,6 +22,7 @@ let rmse ~reference output =
   sqrt (!acc /. float_of_int n)
 
 let value_range a =
+  check_nonempty "Stats.value_range" a;
   let lo = Array.fold_left min a.(0) a and hi = Array.fold_left max a.(0) a in
   hi -. lo
 

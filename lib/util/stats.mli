@@ -11,6 +11,11 @@ val rmse : reference:float array -> float array -> float
 (** Root mean square error between an output and its reference.
     Arrays must have equal non-zero length. *)
 
+val value_range : float array -> float
+(** [max - min] of a non-empty array; raises [Invalid_argument
+    "Stats.value_range"] on an empty one (like the rest of the
+    module, rather than a bare index error). *)
+
 val nrmse : reference:float array -> float array -> float
 (** RMSE normalised by the reference's scale — the larger of its value
     range and its peak magnitude (stable even for short, clustered

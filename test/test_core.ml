@@ -119,6 +119,25 @@ let test_intermittent_var () =
   if clank.Wn_core.Intermittent.nrmse <= 0.0 then
     Alcotest.fail "committed outputs should be approximate (nonzero error)"
 
+let test_intermittent_sample_accounting () =
+  (* Pairing: every (trace, invocation, sample) index must be measured
+     exactly once — the single-pass lockstep walk that replaced the
+     O(n²) List.nth pairing has to account for all of them. *)
+  let w = Suite.find scale "Var" in
+  let setup =
+    {
+      Wn_core.Intermittent.default_setup with
+      n_traces = 2;
+      invocations = 2;
+      samples_per_run = 3;
+    }
+  in
+  let r =
+    Wn_core.Intermittent.run ~setup ~system:Wn_core.Intermittent.Clank ~bits:4 w
+  in
+  Alcotest.(check int) "2 traces x 2 invocations x 3 samples" 12
+    r.Wn_core.Intermittent.samples
+
 (* ---------------- Sampling (Figures 3/17 machinery) --------------- *)
 
 let test_glucose_study () =
@@ -279,7 +298,9 @@ let () =
           Alcotest.test_case "memoization (fig 13)" `Quick test_memoization_study;
         ] );
       ( "intermittent",
-        [ Alcotest.test_case "var on both systems (figs 10/11)" `Slow
+        [ Alcotest.test_case "sample accounting" `Slow
+            test_intermittent_sample_accounting;
+          Alcotest.test_case "var on both systems (figs 10/11)" `Slow
             test_intermittent_var ] );
       ( "sampling",
         [

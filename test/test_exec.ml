@@ -1,0 +1,129 @@
+(* Tests for wn.exec: the fixed-size domain pool behind the parallel
+   experiment engine — order preservation, jobs > tasks, exception
+   propagation, nesting, and bit-identical parallel-vs-sequential
+   results on the fig10-style intermittent driver. *)
+
+open Wn_workloads
+module Pool = Wn_exec.Pool
+
+let ints = Alcotest.(list int)
+
+let test_map_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check ints)
+        (Printf.sprintf "order preserved at jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs f xs))
+    [ 1; 2; 8 ]
+
+let test_edge_shapes () =
+  Alcotest.(check ints) "empty list" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check ints) "singleton" [ 2 ] (Pool.map ~jobs:4 succ [ 1 ]);
+  (* More workers than tasks: no task lost, no hang, order kept. *)
+  Alcotest.(check ints) "jobs > tasks" [ 2; 3; 4 ] (Pool.map ~jobs:8 succ [ 1; 2; 3 ])
+
+let test_pool_reuse () =
+  let t = Pool.create ~jobs:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown t) @@ fun () ->
+  Alcotest.(check int) "jobs" 3 (Pool.jobs t);
+  Alcotest.(check ints) "first batch" [ 2; 4; 6 ] (Pool.run t (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Alcotest.(check ints) "second batch" [ 0; 1; 2; 3; 4 ] (Pool.run t Fun.id [ 0; 1; 2; 3; 4 ])
+
+let test_worker_exception_propagates () =
+  (* A raising worker must surface its exception in the caller without
+     hanging the pool, and the pool must stay usable for a next map. *)
+  match
+    Pool.map ~jobs:4
+      (fun x -> if x = 7 then failwith "boom" else x)
+      (List.init 20 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg ->
+      Alcotest.(check string) "original exception" "boom" msg;
+      Alcotest.(check ints) "pool machinery survives" [ 1; 2 ]
+        (Pool.map ~jobs:4 succ [ 0; 1 ])
+
+let test_nested_map () =
+  (* A task that itself fans out (a parallel figure whose units fan
+     out) must not deadlock; caller participation drains the queue. *)
+  let t = Pool.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown t) @@ fun () ->
+  let result =
+    Pool.run t
+      (fun i -> List.fold_left ( + ) 0 (Pool.run t (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check ints) "nested totals" [ 36; 66; 96; 126 ] result
+
+(* ---------------- determinism of the experiment engine ------------- *)
+
+let scale = Workload.Small
+
+let test_intermittent_bit_identical () =
+  (* The fig10 driver: per-unit partial results concatenated in unit
+     order must make the parallel result bit-identical to sequential. *)
+  let w = Suite.find scale "Var" in
+  let setup =
+    { Wn_core.Intermittent.default_setup with n_traces = 3; samples_per_run = 2 }
+  in
+  let run jobs =
+    Wn_core.Intermittent.run ~jobs ~setup ~system:Wn_core.Intermittent.Clank
+      ~bits:4 w
+  in
+  let sequential = run 1 in
+  List.iter
+    (fun jobs ->
+      if run jobs <> sequential then
+        Alcotest.failf "jobs=%d diverged from the sequential result" jobs)
+    [ 2; 8 ]
+
+let test_curves_bit_identical () =
+  let ws = [ Suite.find scale "MatAdd"; Suite.find scale "MatMul" ] in
+  let suite jobs =
+    Wn_core.Curves.suite ~jobs ~seed:5 ~bits_list:[ 4; 8 ] ws
+  in
+  let sequential = suite 1 in
+  List.iter
+    (fun jobs ->
+      if suite jobs <> sequential then
+        Alcotest.failf "curve suite at jobs=%d diverged" jobs)
+    [ 2; 8 ]
+
+let test_figure_output_bit_identical () =
+  (* Whole-figure rendering (the CSV the bench harness emits on stdout)
+     must be byte-identical across jobs values. *)
+  let render jobs =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    let opts = { Wn_core.Figures.default_options with jobs } in
+    (match Wn_core.Figures.run ppf opts "fig15" with
+    | Ok () -> Format.pp_print_flush ppf ()
+    | Error e -> Alcotest.fail e);
+    Buffer.contents buf
+  in
+  let sequential = render 1 in
+  Alcotest.(check string) "fig15 at jobs=2" sequential (render 2);
+  Alcotest.(check string) "fig15 at jobs=8" sequential (render 8)
+
+let () =
+  Alcotest.run "wn.exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "edge shapes" `Quick test_edge_shapes;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "worker exception" `Quick test_worker_exception_propagates;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "intermittent driver" `Slow test_intermittent_bit_identical;
+          Alcotest.test_case "curve suite" `Slow test_curves_bit_identical;
+          Alcotest.test_case "figure output" `Slow test_figure_output_bit_identical;
+        ] );
+    ]

@@ -106,6 +106,42 @@ let test_supply_starved () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "starved supply should fail"
 
+let test_supply_piecewise_harvest () =
+  (* Regression: a multi-cycle instruction straddling a trace edge must
+     credit each tick segment at that segment's power, not the whole
+     instruction at the starting tick's power.  A 1 kHz trace at 24 MHz
+     puts the edge of a 1 ms on / 1 ms off square at cycle 24_000. *)
+  let trace = Trace.square ~on_ms:1 ~off_ms:1 ~power:2e-3 ~duration_s:0.1 in
+  let cap = Capacitor.create () in
+  (* A tiny cycle energy keeps the capacitor strictly between empty and
+     the regulator clamp for the whole test, so stored energy is an
+     exact linear function of harvest and drain. *)
+  let supply = Supply.create ~cycle_energy:1e-10 ~trace ~capacitor:cap () in
+  (* Advance to 10 cycles before the on->off edge, inside tick 0. *)
+  ignore (Supply.consume supply ~cycles:23_990);
+  Alcotest.(check int) "at edge - 10" 23_990 (Supply.now_cycles supply);
+  let e0 = Capacitor.energy cap in
+  (* A 20-cycle instruction straddling the edge: only its first 10
+     cycles see power, so it harvests 2 mW x 10 cycles, not 2 mW x 20
+     (the pre-fix behaviour). *)
+  ignore (Supply.consume supply ~cycles:20);
+  Alcotest.(check (float 1e-12)) "piecewise credit at the edge"
+    (e0 +. (2e-3 *. 10.0 /. 24e6) -. (20.0 *. 1e-10))
+    (Capacitor.energy cap);
+  (* Entirely inside the off tick: no inflow at all. *)
+  let e1 = Capacitor.energy cap in
+  ignore (Supply.consume supply ~cycles:100);
+  Alcotest.(check (float 1e-12)) "no inflow off-tick"
+    (e1 -. (100.0 *. 1e-10))
+    (Capacitor.energy cap);
+  (* Spanning a whole off tick into the next burst: only the 110 cycles
+     that land in the on tick harvest. *)
+  let e2 = Capacitor.energy cap in
+  ignore (Supply.consume supply ~cycles:24_000);
+  Alcotest.(check (float 1e-12)) "multi-tick span"
+    (e2 +. (2e-3 *. 110.0 /. 24e6) -. (24_000.0 *. 1e-10))
+    (Capacitor.energy cap)
+
 let test_burst_length_calibration () =
   (* The paper's regime: a full charge lasts of the order of a
      millisecond at 24 MHz (tens of thousands of cycles). *)
@@ -139,6 +175,7 @@ let () =
           Alcotest.test_case "accounting" `Quick test_supply_accounting;
           Alcotest.test_case "outage and recovery" `Quick test_supply_outage_and_recovery;
           Alcotest.test_case "starved" `Quick test_supply_starved;
+          Alcotest.test_case "piecewise harvest" `Quick test_supply_piecewise_harvest;
           Alcotest.test_case "burst calibration" `Quick test_burst_length_calibration;
         ] );
     ]

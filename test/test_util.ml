@@ -178,6 +178,13 @@ let test_stats_nrmse () =
   Alcotest.check_raises "length mismatch" (Invalid_argument "Stats.rmse")
     (fun () -> ignore (Stats.rmse ~reference [| 1.0 |]))
 
+let test_stats_value_range () =
+  check_float "spread" 3.0 (Stats.value_range [| 1.0; 4.0; 2.0 |]);
+  check_float "singleton" 0.0 (Stats.value_range [| 5.0 |]);
+  (* Regression: used to index a.(0) without the empty guard. *)
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.value_range")
+    (fun () -> ignore (Stats.value_range [||]))
+
 let prop_median_bounds =
   QCheck.Test.make ~count:300 ~name:"median within min/max"
     QCheck.(array_of_size Gen.(int_range 1 40) (float_range (-100.) 100.))
@@ -219,6 +226,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "nrmse" `Quick test_stats_nrmse;
+          Alcotest.test_case "value range" `Quick test_stats_value_range;
         ] );
       ("properties", qtests);
     ]
