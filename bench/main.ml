@@ -10,17 +10,22 @@
      dune exec bench/main.exe -- --jobs 8        # domain-pool width (default: cores, capped)
      dune exec bench/main.exe -- --out figures   # also write PGM images
      dune exec bench/main.exe -- --no-micro      # skip the Bechamel pass
+     dune exec bench/main.exe -- --micro-only    # only the Bechamel pass
+     dune exec bench/main.exe -- --bench-json F  # where to persist estimates
 
    Figures go to stdout; per-experiment wall-time lines of the form
    [fig10: 12.34s wall, 8 jobs] go to stderr, so stdout is bit-identical
-   across --jobs values and the timings stay measurable. *)
+   across --jobs values and the timings stay measurable.  The Bechamel
+   estimates are additionally serialized to BENCH_machine.json (or
+   --bench-json PATH) so successive commits leave a comparable
+   performance trajectory. *)
 
 open Wn_workloads
 
 let usage () =
   prerr_endline
     "usage: main.exe [--paper-scale] [--paper-setup] [--jobs N] [--out DIR] \
-     [--no-micro] [experiment ...]";
+     [--no-micro] [--micro-only] [--bench-json PATH] [experiment ...]";
   prerr_endline
     ("experiments: " ^ String.concat " " (List.map fst Wn_core.Figures.all));
   exit 2
@@ -29,6 +34,8 @@ type args = {
   opts : Wn_core.Figures.options;
   chosen : string list;
   micro : bool;
+  micro_only : bool;
+  bench_json : string;
 }
 
 let parse_args () =
@@ -41,6 +48,8 @@ let parse_args () =
   in
   let chosen = ref [] in
   let micro = ref true in
+  let micro_only = ref false in
+  let bench_json = ref "BENCH_machine.json" in
   let rec go = function
     | [] -> ()
     | "--paper-scale" :: rest ->
@@ -63,6 +72,12 @@ let parse_args () =
     | "--no-micro" :: rest ->
         micro := false;
         go rest
+    | "--micro-only" :: rest ->
+        micro_only := true;
+        go rest
+    | "--bench-json" :: path :: rest ->
+        bench_json := path;
+        go rest
     | ("--help" | "-h") :: _ -> usage ()
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
         Printf.eprintf "unknown flag %s\n" arg;
@@ -72,7 +87,13 @@ let parse_args () =
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  { opts = !opts; chosen = List.rev !chosen; micro = !micro }
+  {
+    opts = !opts;
+    chosen = List.rev !chosen;
+    micro = !micro;
+    micro_only = !micro_only;
+    bench_json = !bench_json;
+  }
 
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
@@ -91,7 +112,7 @@ let micro_tests scale =
   let step_machine () =
     Wn_core.Runner.load_sample build machine inputs;
     for _ = 1 to 1000 do
-      ignore (Wn_machine.Machine.step machine)
+      Wn_machine.Machine.step_fast machine
     done
   in
   (* fig10/fig11: a full intermittent task on a bursty supply. *)
@@ -107,6 +128,18 @@ let micro_tests scale =
       (Wn_runtime.Executor.run
          ~policy:(Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank)
          ~machine ~supply ())
+  in
+  (* fig10: the Clank runtime with its shadow-map read/write tracking,
+     isolated from outage physics by an always-on supply — measures the
+     per-instruction tracking overhead alone. *)
+  let clank_shadowmap () =
+    Wn_core.Runner.load_sample build machine inputs;
+    ignore
+      (Wn_runtime.Executor.run
+         ~policy:(Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank)
+         ~machine
+         ~supply:(Wn_power.Supply.always_on ())
+         ())
   in
   (* fig13: the multiply front end with and without memoization. *)
   let memo = Wn_machine.Memo.create ~entries:16 () in
@@ -143,12 +176,30 @@ let micro_tests scale =
     Test.make ~name:"table1:compile_var_kernel" (Staged.stage compile_kernel);
     Test.make ~name:"fig9:simulate_1k_instructions" (Staged.stage step_machine);
     Test.make ~name:"fig10:intermittent_clank_task" (Staged.stage intermittent_task);
+    Test.make ~name:"fig10:executor_clank_shadowmap" (Staged.stage clank_shadowmap);
     Test.make ~name:"fig13:memo_front_end" (Staged.stage memo_lookup);
     Test.make ~name:"fig14:subword_major_encode" (Staged.stage layout_encode);
     Test.make ~name:"isa:codec_roundtrip" (Staged.stage codec);
   ]
 
-let run_micro scale =
+(* Persist estimates as name -> ns/run, so each commit leaves a
+   machine-readable point on the repo's performance trajectory (see
+   EXPERIMENTS.md).  Hand-rolled JSON: names contain no characters
+   needing escapes beyond what %S provides. *)
+let write_bench_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"wn-bench/1\",\n";
+  Printf.fprintf oc "  \"unit\": \"ns/run\",\n";
+  Printf.fprintf oc "  \"results\": {";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "%s\n    %S: %.1f" (if i = 0 then "" else ",") name ns)
+    rows;
+  Printf.fprintf oc "\n  }\n}\n";
+  close_out oc
+
+let run_micro scale ~json_path =
   let open Bechamel in
   let open Toolkit in
   print_newline ();
@@ -162,36 +213,50 @@ let run_micro scale =
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let estimates =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Some (name, t)
+        | _ -> None)
+      rows
+    |> List.sort compare
+  in
   List.iter
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some (t :: _) -> Printf.printf "%-40s %12.0f ns/run\n" name t
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  write_bench_json json_path estimates;
+  Printf.eprintf "[bechamel estimates written to %s]\n%!" json_path
 
 let () =
-  let { opts; chosen; micro } = parse_args () in
+  let { opts; chosen; micro; micro_only; bench_json } = parse_args () in
   let ppf = Format.std_formatter in
   let ids = if chosen = [] then List.map fst Wn_core.Figures.all else chosen in
-  let wall0 = Unix.gettimeofday () in
-  let cpu0 = Sys.time () in
-  List.iter
-    (fun id ->
-      let t0 = Unix.gettimeofday () in
-      match Wn_core.Figures.run ppf opts id with
-      | Ok () ->
-          Format.pp_print_flush ppf ();
-          (* Timing goes to stderr: stdout stays bit-identical across
-             --jobs values, which is what the determinism check diffs. *)
-          Printf.eprintf "[%s: %.2fs wall, %d jobs]\n%!" id
-            (Unix.gettimeofday () -. t0)
-            opts.Wn_core.Figures.jobs
-      | Error e ->
-          prerr_endline e;
-          exit 2)
-    ids;
-  Printf.eprintf "\n[experiments done in %.1fs wall / %.1fs cpu, %d jobs]\n%!"
-    (Unix.gettimeofday () -. wall0)
-    (Sys.time () -. cpu0)
-    opts.Wn_core.Figures.jobs;
-  if micro && chosen = [] then run_micro opts.Wn_core.Figures.scale
+  if not micro_only then begin
+    let wall0 = Unix.gettimeofday () in
+    let cpu0 = Sys.time () in
+    List.iter
+      (fun id ->
+        let t0 = Unix.gettimeofday () in
+        match Wn_core.Figures.run ppf opts id with
+        | Ok () ->
+            Format.pp_print_flush ppf ();
+            (* Timing goes to stderr: stdout stays bit-identical across
+               --jobs values, which is what the determinism check diffs. *)
+            Printf.eprintf "[%s: %.2fs wall, %d jobs]\n%!" id
+              (Unix.gettimeofday () -. t0)
+              opts.Wn_core.Figures.jobs
+        | Error e ->
+            prerr_endline e;
+            exit 2)
+      ids;
+    Printf.eprintf "\n[experiments done in %.1fs wall / %.1fs cpu, %d jobs]\n%!"
+      (Unix.gettimeofday () -. wall0)
+      (Sys.time () -. cpu0)
+      opts.Wn_core.Figures.jobs
+  end;
+  if micro && (micro_only || chosen = []) then
+    run_micro opts.Wn_core.Figures.scale ~json_path:bench_json

@@ -48,50 +48,74 @@ let storage_bytes t ~count =
   | Row_major { elem_bits; _ } -> count * (elem_bits / 8)
   | Subword_major _ -> 4 * planes t * words_per_plane t ~count
 
-let write_elem buf ~elem_bits addr v =
-  match elem_bits with
-  | 8 -> Bytes.set buf addr (Char.chr (v land 0xFF))
-  | 16 -> Bytes.set_uint16_le buf addr (v land 0xFFFF)
-  | 32 -> Bytes.set_int32_le buf addr (Int32.of_int v)
-  | _ -> invalid_arg "Layout: element width"
-
+(* 32-bit elements go through two uint16 halves: [get_uint16_le]
+   returns an immediate int, where the int32 accessors box. *)
 let read_elem buf ~elem_bits addr =
   match elem_bits with
   | 8 -> Char.code (Bytes.get buf addr)
   | 16 -> Bytes.get_uint16_le buf addr
-  | 32 -> Int32.to_int (Bytes.get_int32_le buf addr) land 0xFFFF_FFFF
+  | 32 ->
+      Bytes.get_uint16_le buf addr lor (Bytes.get_uint16_le buf (addr + 2) lsl 16)
   | _ -> invalid_arg "Layout: element width"
 
 let encode t values =
   match t with
-  | Row_major { elem_bits; _ } ->
-      let buf = Bytes.make (Array.length values * (elem_bits / 8)) '\000' in
-      Array.iteri
-        (fun i v ->
-          write_elem buf ~elem_bits (i * (elem_bits / 8))
-            (Subword.truncate ~bits:elem_bits v))
-        values;
-      buf
+  | Row_major { elem_bits; _ } -> (
+      (* Width-specialized loops: one match per call instead of one per
+         element, and the truncation mask inline. *)
+      let n = Array.length values in
+      match elem_bits with
+      | 8 ->
+          let buf = Bytes.create n in
+          for i = 0 to n - 1 do
+            Bytes.unsafe_set buf i
+              (Char.unsafe_chr (Array.unsafe_get values i land 0xFF))
+          done;
+          buf
+      | 16 ->
+          let buf = Bytes.create (2 * n) in
+          for i = 0 to n - 1 do
+            Bytes.set_uint16_le buf (2 * i) (Array.unsafe_get values i land 0xFFFF)
+          done;
+          buf
+      | 32 ->
+          let buf = Bytes.create (4 * n) in
+          for i = 0 to n - 1 do
+            let v = Array.unsafe_get values i in
+            Bytes.set_uint16_le buf (4 * i) (v land 0xFFFF);
+            Bytes.set_uint16_le buf ((4 * i) + 2) ((v lsr 16) land 0xFFFF)
+          done;
+          buf
+      | _ -> invalid_arg "Layout: element width")
   | Subword_major { elem_bits; bits; lane_bits; count; biased; _ } ->
       if Array.length values <> count then
         invalid_arg "Layout.encode: element count mismatch";
       let lpw = 32 / lane_bits in
       let wpp = (count + lpw - 1) / lpw in
       let n_planes = elem_bits / bits in
-      let words = Array.make (n_planes * wpp) 0 in
       let bias = if biased then 1 lsl (elem_bits - 1) else 0 in
-      Array.iteri
-        (fun i v ->
-          let v = Subword.truncate ~bits:elem_bits v lxor bias in
-          for p = 0 to n_planes - 1 do
-            let digit = (v lsr (p * bits)) land Subword.mask bits in
-            let w = (p * wpp) + (i / lpw) and lane = i mod lpw in
-            words.(w) <-
-              Subword.insert ~bits:lane_bits ~pos:lane ~into:words.(w) digit
-          done)
-        values;
-      let buf = Bytes.make (4 * Array.length words) '\000' in
-      Array.iteri (fun w v -> Bytes.set_int32_le buf (4 * w) (Int32.of_int v)) words;
+      let digit_mask = Subword.mask bits in
+      let elem_mask = Subword.mask elem_bits in
+      let buf = Bytes.make (4 * n_planes * wpp) '\000' in
+      (* Plane-major gather: compose each output word in an int
+         accumulator from its lpw source elements and write it once.
+         Each lane is written exactly once, so plain or-accumulation
+         from zero produces the same words the lane-insert walk did. *)
+      for p = 0 to n_planes - 1 do
+        let shift = p * bits in
+        for w = 0 to wpp - 1 do
+          let base = w * lpw in
+          let last = min (lpw - 1) (count - 1 - base) in
+          let acc = ref 0 in
+          for lane = 0 to last do
+            let v = (Array.unsafe_get values (base + lane) land elem_mask) lxor bias in
+            acc := !acc lor (((v lsr shift) land digit_mask) lsl (lane * lane_bits))
+          done;
+          let off = 4 * ((p * wpp) + w) in
+          Bytes.set_uint16_le buf off (!acc land 0xFFFF);
+          Bytes.set_uint16_le buf (off + 2) ((!acc lsr 16) land 0xFFFF)
+        done
+      done;
       buf
 
 let decode t ~count buf =
@@ -104,7 +128,10 @@ let decode t ~count buf =
       let wpp = (count + lpw - 1) / lpw in
       let n_planes = elem_bits / bits in
       let bias = if biased then 1 lsl (elem_bits - 1) else 0 in
-      let word w = Int32.to_int (Bytes.get_int32_le buf (4 * w)) land 0xFFFF_FFFF in
+      let word w =
+        Bytes.get_uint16_le buf (4 * w)
+        lor (Bytes.get_uint16_le buf ((4 * w) + 2) lsl 16)
+      in
       Array.init count (fun i ->
           let acc = ref 0 in
           for p = 0 to n_planes - 1 do

@@ -5,12 +5,27 @@ type config = { memo_entries : int option; zero_skip : bool }
 
 let default_config = { memo_entries = None; zero_skip = false }
 
+(* The core keeps two representations of the program: the [int Instr.t]
+   array (the architectural instruction memory, used for disassembly,
+   static analysis and the reference interpreter) and a predecoded
+   dispatch table [code] built once at [create] — one closure per PC,
+   capturing only immutable operand data (register indices, immediates,
+   precomputed latencies).  [step_fast] dispatches through [code] and
+   reports its effects in the [last_*] scratch fields instead of
+   allocating a [step_result]; [step] is a compatibility wrapper that
+   reifies the scratch fields into the record.
+
+   Flags are four mutable bools (not a [Cond.flags] record) so [Cmp]
+   does not allocate; [flags] materialises the record on demand. *)
 type t = {
   program : int Instr.t array;
   mem : Wn_mem.Memory.t;
   regs : int array;
   mutable pcv : int;
-  mutable flag : Cond.flags;
+  mutable fn : bool;
+  mutable fz : bool;
+  mutable fc : bool;
+  mutable fv : bool;
   mutable halt : bool;
   mutable skim : int option;
   memo_table : Memo.t option;
@@ -18,22 +33,402 @@ type t = {
   mutable retired : int;
   mutable wn_retired : int;
   mutable cycles : int;
+  code : (t -> unit) array;
+  (* step_fast scratch: effects of the last instruction, encoded without
+     allocation.  Addresses are -1 when the instruction made no access
+     of that kind; the byte counts are only meaningful when the
+     corresponding address is >= 0. *)
+  mutable last_pc : int;
+  mutable last_cycles : int;
+  mutable last_read_addr : int;
+  mutable last_read_bytes : int;
+  mutable last_wrote_addr : int;
+  mutable last_wrote_bytes : int;
+  mutable last_memo_hit : bool;
+  mutable last_zero_skipped : bool;
+  mutable last_skm : bool;
 }
 
+let u32 v = v land 0xFFFF_FFFF
+
+let signed32 v = Subword.to_signed ~bits:32 v
+
+(* Flag computation for compares: NZCV of rn - rm on the 32-bit
+   datapath. *)
+let set_compare_flags t a b =
+  let sa = signed32 a and sb = signed32 b in
+  let result = u32 (sa - sb) in
+  let n = result land 0x8000_0000 <> 0 in
+  t.fn <- n;
+  t.fz <- result = 0;
+  t.fc <- a >= b;
+  (* signed overflow: operands of differing sign and the truncated
+     result's sign differs from the minuend's *)
+  t.fv <- (sa < 0) <> (sb < 0) && (sa < 0) <> n
+
+(* Cond.holds over the unboxed flag fields (same truth table, no
+   record to build). *)
+let holds c t =
+  match (c : Cond.t) with
+  | Al -> true
+  | Eq -> t.fz
+  | Ne -> not t.fz
+  | Lt -> t.fn <> t.fv
+  | Ge -> t.fn = t.fv
+  | Gt -> (not t.fz) && t.fn = t.fv
+  | Le -> t.fz || t.fn <> t.fv
+  | Lo -> not t.fc
+  | Hs -> t.fc
+  | Mi -> t.fn
+  | Pl -> not t.fn
+
+let alu_eval op a b =
+  match (op : Instr.alu_op) with
+  | Add -> a + b
+  | Sub -> a - b
+  | And -> a land b
+  | Orr -> a lor b
+  | Eor -> a lxor b
+  | Bic -> a land lnot b
+  | Adc -> a + b (* carry-in unused: the compiler never emits Adc/Sbc chains *)
+  | Sbc -> a - b
+
+(* Digit-by-digit (restoring) square root: decide result bits from the
+   most significant down; each decision is final, so computing only the
+   top [bits] of the 16-bit root is exact truncation of the full
+   root. *)
+let isqrt_top ~bits n =
+  let r = ref 0 in
+  for bitpos = 15 downto 16 - bits do
+    let candidate = !r lor (1 lsl bitpos) in
+    if candidate * candidate <= n then r := candidate
+  done;
+  !r
+
+(* ---------------- predecode ---------------- *)
+
+let reader (width : Instr.width) ~signed =
+  let open Wn_mem in
+  match (width, signed) with
+  | Instr.Byte, false -> fun mem addr -> Memory.read8 mem addr
+  | Instr.Byte, true -> fun mem addr -> u32 (Memory.read8_signed mem addr)
+  | Instr.Half, false -> fun mem addr -> Memory.read16 mem addr
+  | Instr.Half, true -> fun mem addr -> u32 (Memory.read16_signed mem addr)
+  | Instr.Word, _ -> fun mem addr -> Memory.read32 mem addr
+
+let writer (width : Instr.width) =
+  let open Wn_mem in
+  match width with
+  | Instr.Byte -> Memory.write8
+  | Instr.Half -> Memory.write16
+  | Instr.Word -> Memory.write32
+
+let access_bytes (width : Instr.width) =
+  match width with Instr.Byte -> 1 | Instr.Half -> 2 | Instr.Word -> 4
+
+(* Multiply front end (zero-skip / memoization), specialized per machine
+   configuration at predecode time.  Decides the latency actually paid
+   and the hit/skip statistics; the caller writes the product. *)
+let mul_front ~zero_skip ~memo_table ~full =
+  match (memo_table, zero_skip) with
+  | None, false -> fun t _a _b -> t.last_cycles <- full
+  | None, true ->
+      fun t a b ->
+        if a = 0 || b = 0 then begin
+          t.last_cycles <- 1;
+          t.last_zero_skipped <- true
+        end
+        else t.last_cycles <- full
+  | Some table, zs ->
+      fun t a b ->
+        if zs && (a = 0 || b = 0) then begin
+          t.last_cycles <- 1;
+          t.last_zero_skipped <- true
+        end
+        else begin
+          ignore (Memo.find_or_add table ~a ~b ~miss:(u32 (a * b)));
+          if Memo.last_was_hit table then begin
+            t.last_cycles <- 1;
+            t.last_memo_hit <- true
+          end
+          else t.last_cycles <- full
+        end
+
+(* One dispatch closure per PC.  Closures never capture the machine
+   itself, only operand data, so a single predecoded table serves the
+   machine for its whole lifetime — [reset_for_new_task] and
+   [scrub_volatile] need no re-decode. *)
+let compile_op ~zero_skip ~memo_table pc (i : int Instr.t) : t -> unit =
+  let next = pc + 1 in
+  let idx = Reg.index in
+  match i with
+  | Instr.Nop ->
+      fun t ->
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Halt ->
+      fun t ->
+        t.halt <- true;
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Mov_imm (rd, imm) ->
+      let rd = idx rd and imm = u32 imm in
+      fun t ->
+        t.regs.(rd) <- imm;
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Movt (rd, imm) ->
+      let rd = idx rd and hi = imm lsl 16 in
+      fun t ->
+        t.regs.(rd) <- u32 ((t.regs.(rd) land 0xFFFF) lor hi);
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Mov (rd, rn) ->
+      let rd = idx rd and rn = idx rn in
+      fun t ->
+        t.regs.(rd) <- t.regs.(rn);
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Alu (op, rd, rn, rm) ->
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      fun t ->
+        t.regs.(rd) <- u32 (alu_eval op t.regs.(rn) t.regs.(rm));
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Alu_imm (op, rd, rn, imm) ->
+      let rd = idx rd and rn = idx rn in
+      fun t ->
+        t.regs.(rd) <- u32 (alu_eval op t.regs.(rn) imm);
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Shift (op, rd, rn, sh) -> (
+      let rd = idx rd and rn = idx rn in
+      match op with
+      | Instr.Lsl ->
+          fun t ->
+            t.regs.(rd) <- u32 (t.regs.(rn) lsl sh);
+            t.last_cycles <- 1;
+            t.pcv <- next
+      | Instr.Lsr ->
+          fun t ->
+            t.regs.(rd) <- u32 (t.regs.(rn) lsr sh);
+            t.last_cycles <- 1;
+            t.pcv <- next
+      | Instr.Asr ->
+          fun t ->
+            t.regs.(rd) <- u32 (signed32 t.regs.(rn) asr sh);
+            t.last_cycles <- 1;
+            t.pcv <- next)
+  | Instr.Mul (rd, rn, rm) -> (
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      match (memo_table, zero_skip) with
+      | None, false ->
+          fun t ->
+            t.regs.(rd) <- u32 (t.regs.(rn) * t.regs.(rm));
+            t.last_cycles <- 16;
+            t.pcv <- next
+      | None, true ->
+          fun t ->
+            let a = t.regs.(rn) and b = t.regs.(rm) in
+            if a = 0 || b = 0 then begin
+              t.regs.(rd) <- 0;
+              t.last_cycles <- 1;
+              t.last_zero_skipped <- true
+            end
+            else begin
+              t.regs.(rd) <- u32 (a * b);
+              t.last_cycles <- 16
+            end;
+            t.pcv <- next
+      | Some table, zs ->
+          fun t ->
+            let a = t.regs.(rn) and b = t.regs.(rm) in
+            if zs && (a = 0 || b = 0) then begin
+              t.regs.(rd) <- 0;
+              t.last_cycles <- 1;
+              t.last_zero_skipped <- true
+            end
+            else begin
+              (* On a hit the cached product is written (it equals the
+                 recomputed one for any table the machine itself filled). *)
+              t.regs.(rd) <- Memo.find_or_add table ~a ~b ~miss:(u32 (a * b));
+              if Memo.last_was_hit table then begin
+                t.last_cycles <- 1;
+                t.last_memo_hit <- true
+              end
+              else t.last_cycles <- 16
+            end;
+            t.pcv <- next)
+  | Instr.Mul_asp { bits; signed; rd; rn; shift } ->
+      (* rd := rd * subword, shifted into place.  The subword sits in
+         the low [bits] bits of rn (a byte load or shift put it there);
+         the most significant subword of signed data multiplies
+         signed. *)
+      let rd = idx rd and rn = idx rn in
+      let front = mul_front ~zero_skip ~memo_table ~full:bits in
+      fun t ->
+        let sub_raw = Subword.truncate ~bits t.regs.(rn) in
+        let multiplicand = signed32 t.regs.(rd) in
+        let sub = if signed then Subword.to_signed ~bits sub_raw else sub_raw in
+        (* The memo table and zero-skip front end decide the latency; the
+           product itself is recomputed signed (the cached pattern equals
+           it bit-for-bit). *)
+        front t (u32 multiplicand) (u32 sub);
+        t.regs.(rd) <- u32 ((multiplicand * sub) lsl shift);
+        t.wn_retired <- t.wn_retired + 1;
+        t.pcv <- next
+  | Instr.Add_asv (w, rd, rn, rm) ->
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      fun t ->
+        t.regs.(rd) <- Subword.lanes_add ~lane_bits:w ~width:32 t.regs.(rn) t.regs.(rm);
+        t.wn_retired <- t.wn_retired + 1;
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Sub_asv (w, rd, rn, rm) ->
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      fun t ->
+        t.regs.(rd) <- Subword.lanes_sub ~lane_bits:w ~width:32 t.regs.(rn) t.regs.(rm);
+        t.wn_retired <- t.wn_retired + 1;
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Sqrt (rd, rn) ->
+      let rd = idx rd and rn = idx rn in
+      fun t ->
+        t.regs.(rd) <- isqrt_top ~bits:16 t.regs.(rn);
+        t.last_cycles <- 16;
+        t.pcv <- next
+  | Instr.Sqrt_asp { bits; rd; rn } ->
+      let rd = idx rd and rn = idx rn in
+      fun t ->
+        t.regs.(rd) <- isqrt_top ~bits t.regs.(rn);
+        t.wn_retired <- t.wn_retired + 1;
+        t.last_cycles <- bits;
+        t.pcv <- next
+  | Instr.Cmp (rn, rm) ->
+      let rn = idx rn and rm = idx rm in
+      fun t ->
+        set_compare_flags t t.regs.(rn) t.regs.(rm);
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Cmp_imm (rn, imm) ->
+      let rn = idx rn in
+      fun t ->
+        set_compare_flags t t.regs.(rn) imm;
+        t.last_cycles <- 1;
+        t.pcv <- next
+  | Instr.Ldr { width; signed; rd; base; off } ->
+      let rd = idx rd and base = idx base in
+      let read = reader width ~signed and bytes = access_bytes width in
+      fun t ->
+        let addr = t.regs.(base) + off in
+        t.regs.(rd) <- read t.mem addr;
+        t.last_read_addr <- addr;
+        t.last_read_bytes <- bytes;
+        t.last_cycles <- 2;
+        t.pcv <- next
+  | Instr.Str { width; rs; base; off } ->
+      let rs = idx rs and base = idx base in
+      let write = writer width and bytes = access_bytes width in
+      fun t ->
+        let addr = t.regs.(base) + off in
+        write t.mem addr t.regs.(rs);
+        t.last_wrote_addr <- addr;
+        t.last_wrote_bytes <- bytes;
+        t.last_cycles <- 2;
+        t.pcv <- next
+  | Instr.Ldr_reg { width; signed; rd; base; idx = ix } ->
+      let rd = idx rd and base = idx base and ix = idx ix in
+      let read = reader width ~signed and bytes = access_bytes width in
+      fun t ->
+        let addr = t.regs.(base) + t.regs.(ix) in
+        t.regs.(rd) <- read t.mem addr;
+        t.last_read_addr <- addr;
+        t.last_read_bytes <- bytes;
+        t.last_cycles <- 2;
+        t.pcv <- next
+  | Instr.Str_reg { width; rs; base; idx = ix } ->
+      let rs = idx rs and base = idx base and ix = idx ix in
+      let write = writer width and bytes = access_bytes width in
+      fun t ->
+        let addr = t.regs.(base) + t.regs.(ix) in
+        write t.mem addr t.regs.(rs);
+        t.last_wrote_addr <- addr;
+        t.last_wrote_bytes <- bytes;
+        t.last_cycles <- 2;
+        t.pcv <- next
+  | Instr.B (c, tgt) -> (
+      let taken = Instr.cycles ~taken:true i in
+      let fall = Instr.cycles ~taken:false i in
+      match c with
+      | Cond.Al ->
+          fun t ->
+            t.last_cycles <- taken;
+            t.pcv <- tgt
+      | _ ->
+          fun t ->
+            if holds c t then begin
+              t.last_cycles <- taken;
+              t.pcv <- tgt
+            end
+            else begin
+              t.last_cycles <- fall;
+              t.pcv <- next
+            end)
+  | Instr.Bl tgt ->
+      let lr = Reg.index Reg.lr in
+      fun t ->
+        t.regs.(lr) <- u32 next;
+        t.last_cycles <- 2;
+        t.pcv <- tgt
+  | Instr.Bx_lr ->
+      let lr = Reg.index Reg.lr in
+      fun t ->
+        t.last_cycles <- 2;
+        t.pcv <- t.regs.(lr)
+  | Instr.Skm tgt ->
+      (* The option cell is built once here, so latching allocates
+         nothing per execution. *)
+      let latched = Some tgt in
+      fun t ->
+        t.skim <- latched;
+        t.last_skm <- true;
+        t.wn_retired <- t.wn_retired + 1;
+        t.last_cycles <- 1;
+        t.pcv <- next
+
+let predecode ~zero_skip ~memo_table program =
+  Array.mapi (compile_op ~zero_skip ~memo_table) program
+
 let create ?(config = default_config) ~program ~mem () =
+  let memo_table =
+    Option.map (fun entries -> Memo.create ~entries ()) config.memo_entries
+  in
   {
     program;
     mem;
     regs = Array.make Reg.count 0;
     pcv = 0;
-    flag = Cond.initial_flags;
+    fn = false;
+    fz = false;
+    fc = false;
+    fv = false;
     halt = false;
     skim = None;
-    memo_table = Option.map (fun entries -> Memo.create ~entries ()) config.memo_entries;
+    memo_table;
     zero_skip = config.zero_skip;
     retired = 0;
     wn_retired = 0;
     cycles = 0;
+    code = predecode ~zero_skip:config.zero_skip ~memo_table program;
+    last_pc = -1;
+    last_cycles = 0;
+    last_read_addr = -1;
+    last_read_bytes = 0;
+    last_wrote_addr = -1;
+    last_wrote_bytes = 0;
+    last_memo_hit = false;
+    last_zero_skipped = false;
+    last_skm = false;
   }
 
 let program t = t.program
@@ -41,12 +436,17 @@ let mem t = t.mem
 let pc t = t.pcv
 let set_pc t v = t.pcv <- v
 
-let u32 v = v land 0xFFFF_FFFF
-
 let reg t r = t.regs.(Reg.index r)
 let set_reg t r v = t.regs.(Reg.index r) <- u32 v
 
-let flags t = t.flag
+let flags t = { Cond.n = t.fn; z = t.fz; c = t.fc; v = t.fv }
+
+let set_flags t (f : Cond.flags) =
+  t.fn <- f.Cond.n;
+  t.fz <- f.Cond.z;
+  t.fc <- f.Cond.c;
+  t.fv <- f.Cond.v
+
 let halted t = t.halt
 
 let skim_target t = t.skim
@@ -63,7 +463,7 @@ let reset_for_new_task t =
   t.halt <- false;
   t.skim <- None;
   Array.fill t.regs 0 Reg.count 0;
-  t.flag <- Cond.initial_flags
+  set_flags t Cond.initial_flags
 
 type access = { addr : int; bytes : int }
 
@@ -76,33 +476,50 @@ type step_result = {
   zero_skipped : bool;
 }
 
-let signed32 v = Subword.to_signed ~bits:32 v
+(* ---------------- the fast path ---------------- *)
 
-(* Flag computation for compares: NZCV of rn - rm on the 32-bit
-   datapath. *)
-let compare_flags a b =
-  let sa = signed32 a and sb = signed32 b in
-  let result = u32 (sa - sb) in
-  let n = result land 0x8000_0000 <> 0 in
+let step_fast t =
+  if t.halt then failwith "Machine.step: halted";
+  let pc = t.pcv in
+  if pc < 0 || pc >= Array.length t.code then
+    failwith (Printf.sprintf "Machine.step: PC %d out of program" pc);
+  t.last_pc <- pc;
+  t.last_read_addr <- -1;
+  t.last_wrote_addr <- -1;
+  t.last_memo_hit <- false;
+  t.last_zero_skipped <- false;
+  t.last_skm <- false;
+  (Array.unsafe_get t.code pc) t;
+  t.retired <- t.retired + 1;
+  t.cycles <- t.cycles + t.last_cycles
+
+let last_pc t = t.last_pc
+let last_cycles t = t.last_cycles
+let last_read_addr t = t.last_read_addr
+let last_read_bytes t = t.last_read_bytes
+let last_wrote_addr t = t.last_wrote_addr
+let last_wrote_bytes t = t.last_wrote_bytes
+let last_memo_hit t = t.last_memo_hit
+let last_zero_skipped t = t.last_zero_skipped
+let last_was_skm t = t.last_skm
+
+let step t =
+  let pc0 = t.pcv in
+  step_fast t;
   {
-    Cond.n;
-    z = result = 0;
-    c = a >= b;
-    (* signed overflow: operands of differing sign and the truncated
-       result's sign differs from the minuend's *)
-    v = (sa < 0) <> (sb < 0) && (sa < 0) <> n;
+    instr = t.program.(pc0);
+    cycles = t.last_cycles;
+    read =
+      (if t.last_read_addr < 0 then None
+       else Some { addr = t.last_read_addr; bytes = t.last_read_bytes });
+    wrote =
+      (if t.last_wrote_addr < 0 then None
+       else Some { addr = t.last_wrote_addr; bytes = t.last_wrote_bytes });
+    memo_hit = t.last_memo_hit;
+    zero_skipped = t.last_zero_skipped;
   }
 
-let alu_eval op a b =
-  match (op : Instr.alu_op) with
-  | Add -> a + b
-  | Sub -> a - b
-  | And -> a land b
-  | Orr -> a lor b
-  | Eor -> a lxor b
-  | Bic -> a land lnot b
-  | Adc -> a + b (* carry-in unused: the compiler never emits Adc/Sbc chains *)
-  | Sbc -> a - b
+(* ---------------- the reference interpreter ---------------- *)
 
 let load t (width : Instr.width) ~signed addr =
   let open Wn_mem in
@@ -120,20 +537,9 @@ let store t (width : Instr.width) addr v =
   | Instr.Half -> (Memory.write16 t.mem addr v, 2)
   | Instr.Word -> (Memory.write32 t.mem addr v, 4)
 
-(* Digit-by-digit (restoring) square root: decide result bits from the
-   most significant down; each decision is final, so computing only the
-   top [bits] of the 16-bit root is exact truncation of the full
-   root. *)
-let isqrt_top ~bits n =
-  let r = ref 0 in
-  for bitpos = 15 downto 16 - bits do
-    let candidate = !r lor (1 lsl bitpos) in
-    if candidate * candidate <= n then r := candidate
-  done;
-  !r
-
 (* Multiply through the zero-skip / memoization front end.  Returns the
-   raw product and the latency actually paid. *)
+   raw product and the latency actually paid.  (Kept on the reference
+   path; exercises the split lookup/insert Memo API.) *)
 let multiply t ~full_cycles a b =
   if t.zero_skip && (a = 0 || b = 0) then (0, 1, false, true)
   else
@@ -147,7 +553,11 @@ let multiply t ~full_cycles a b =
             (r, full_cycles, false, false))
     | None -> (u32 (a * b), full_cycles, false, false)
 
-let step t =
+(* The original direct interpreter over [int Instr.t], kept verbatim as
+   the executable specification: the differential suite steps it and
+   [step_fast] in lockstep to prove the predecoded table is
+   bit-identical. *)
+let step_reference t =
   if t.halt then failwith "Machine.step: halted";
   if t.pcv < 0 || t.pcv >= Array.length t.program then
     failwith (Printf.sprintf "Machine.step: PC %d out of program" t.pcv);
@@ -183,17 +593,10 @@ let step t =
       cycles := c;
       effects := (None, None, hit, zs)
   | Instr.Mul_asp { bits; signed; rd; rn; shift } ->
-      (* rd := rd * subword, shifted into place.  The subword sits in
-         the low [bits] bits of rn (a byte load or shift put it there);
-         the most significant subword of signed data multiplies
-         signed. *)
       let sub_raw = Subword.truncate ~bits (rv rn) in
       let multiplicand = signed32 (rv rd) in
       let sub = if signed then Subword.to_signed ~bits sub_raw else sub_raw in
       let a = u32 multiplicand and b = u32 sub in
-      (* The memo table and zero-skip front end decide the latency; the
-         product itself is recomputed signed (the cached pattern equals
-         it bit-for-bit). *)
       let _pattern, c, hit, zs = multiply t ~full_cycles:bits a b in
       let product = multiplicand * sub in
       rd_set rd (u32 (product lsl shift));
@@ -205,8 +608,8 @@ let step t =
       rd_set rd (Subword.lanes_sub ~lane_bits:w ~width:32 (rv rn) (rv rm))
   | Instr.Sqrt (rd, rn) -> rd_set rd (isqrt_top ~bits:16 (rv rn))
   | Instr.Sqrt_asp { bits; rd; rn } -> rd_set rd (isqrt_top ~bits (rv rn))
-  | Instr.Cmp (rn, rm) -> t.flag <- compare_flags (rv rn) (rv rm)
-  | Instr.Cmp_imm (rn, imm) -> t.flag <- compare_flags (rv rn) imm
+  | Instr.Cmp (rn, rm) -> set_compare_flags t (rv rn) (rv rm)
+  | Instr.Cmp_imm (rn, imm) -> set_compare_flags t (rv rn) imm
   | Instr.Ldr { width; signed; rd; base; off } ->
       let addr = rv base + off in
       let v, bytes = load t width ~signed addr in
@@ -226,7 +629,7 @@ let step t =
       let (), bytes = store t width addr (rv rs) in
       effects := (None, Some { addr; bytes }, false, false)
   | Instr.B (c, tgt) ->
-      if Cond.holds c t.flag then begin
+      if holds c t then begin
         pc' := tgt;
         cycles := Instr.cycles ~taken:true i
       end
@@ -245,16 +648,16 @@ let step t =
 type register_file = { saved_regs : int array; saved_flags : Cond.flags; saved_pc : int }
 
 let capture_registers t =
-  { saved_regs = Array.copy t.regs; saved_flags = t.flag; saved_pc = t.pcv }
+  { saved_regs = Array.copy t.regs; saved_flags = flags t; saved_pc = t.pcv }
 
 let restore_registers t rf =
   Array.blit rf.saved_regs 0 t.regs 0 Reg.count;
-  t.flag <- rf.saved_flags;
+  set_flags t rf.saved_flags;
   t.pcv <- rf.saved_pc
 
 let scrub_volatile t =
   Array.fill t.regs 0 Reg.count 0;
-  t.flag <- Cond.initial_flags;
+  set_flags t Cond.initial_flags;
   t.pcv <- 0
 
 let instructions_retired (t : t) = t.retired

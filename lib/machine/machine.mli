@@ -70,7 +70,53 @@ type step_result = {
 
 val step : t -> step_result
 (** Execute the instruction at the PC.  Raises [Failure] if the machine
-    is already halted or the PC is outside the program. *)
+    is already halted or the PC is outside the program.
+
+    Compatibility wrapper: runs {!step_fast} and reifies the scratch
+    fields into a [step_result] record (one record plus up to two
+    [access] allocations per call). *)
+
+(** {2 Allocation-free fast path}
+
+    [step_fast] executes through a dispatch table predecoded once at
+    {!create} (one closure per PC, capturing only operand data) and
+    reports the instruction's effects in scratch fields on the machine
+    instead of a [step_result].  Observable behaviour — register file,
+    flags, memory, PC, SKM latch, statistics, memo-table contents and
+    counters — is bit-identical to {!step}; the per-instruction cost is
+    an array load, an indirect call and integer field writes, with no
+    heap allocation.
+
+    The scratch accessors below are valid until the next [step_fast] /
+    [step] call.  Addresses are [-1] when the instruction made no such
+    access; byte counts are meaningful only when the address is
+    non-negative. *)
+
+val step_fast : t -> unit
+(** Same failure conditions as {!step}. *)
+
+val last_pc : t -> int
+(** PC of the most recently executed instruction. *)
+
+val last_cycles : t -> int
+(** Latency actually paid, after memo/zero-skip shortcuts. *)
+
+val last_read_addr : t -> int
+val last_read_bytes : t -> int
+val last_wrote_addr : t -> int
+val last_wrote_bytes : t -> int
+val last_memo_hit : t -> bool
+val last_zero_skipped : t -> bool
+
+val last_was_skm : t -> bool
+(** Whether the last instruction was [Skm] (latched a skim target). *)
+
+val step_reference : t -> step_result
+(** The original direct interpreter over [int Instr.t], kept as the
+    executable specification of the ISA.  Semantically interchangeable
+    with {!step}; the differential test suite runs both implementations
+    in lockstep to prove the predecoded table faithful.  Not intended
+    for production use. *)
 
 (** {2 State capture — checkpointing and volatility} *)
 

@@ -1,10 +1,19 @@
-type entry = { tag_a : int; tag_b : int; result : int }
-
+(* Slots live in three parallel int arrays rather than an [entry option
+   array]: probes and installs are then pure int-array indexing, so the
+   multiply front end allocates nothing.  An empty slot is tag_a = -1,
+   which no real tag can equal (tags are logical right shifts of the
+   operands, hence non-negative). *)
 type t = {
-  slots : entry option array;
-  index_bits : int;
+  tag_a : int array;
+  tag_b : int array;
+  result : int array;
+  half : int; (* index bits taken from operand a *)
+  rest : int; (* index bits taken from operand b *)
+  mask_a : int;
+  mask_b : int;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable last_hit : bool;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -12,43 +21,72 @@ let is_power_of_two n = n > 0 && n land (n - 1) = 0
 let create ?(entries = 16) () =
   if not (is_power_of_two entries) then invalid_arg "Memo.create";
   let rec log2 n = if n = 1 then 0 else 1 + log2 (n / 2) in
+  let index_bits = log2 entries in
+  let half = index_bits / 2 in
+  let rest = index_bits - half in
   {
-    slots = Array.make entries None;
-    index_bits = log2 entries;
+    tag_a = Array.make entries (-1);
+    tag_b = Array.make entries (-1);
+    result = Array.make entries 0;
+    half;
+    rest;
+    mask_a = (1 lsl half) - 1;
+    mask_b = (1 lsl rest) - 1;
     hit_count = 0;
     miss_count = 0;
+    last_hit = false;
   }
 
-let entries t = Array.length t.slots
+let entries t = Array.length t.result
 
 (* Index: low bits of each operand concatenated, as in the paper's
    "concatenation of the two least significant bits of both operands"
    for the 16-entry table.  Tag: the remaining operand bits. *)
-let split_key t ~a ~b =
-  let half = t.index_bits / 2 in
-  let rest = t.index_bits - half in
-  let mask_a = (1 lsl half) - 1 and mask_b = (1 lsl rest) - 1 in
-  let index = ((a land mask_a) lsl rest) lor (b land mask_b) in
-  (index, a lsr half, b lsr rest)
+let slot t ~a ~b = ((a land t.mask_a) lsl t.rest) lor (b land t.mask_b)
 
 let lookup t ~a ~b =
-  let index, tag_a, tag_b = split_key t ~a ~b in
-  match t.slots.(index) with
-  | Some e when e.tag_a = tag_a && e.tag_b = tag_b ->
-      t.hit_count <- t.hit_count + 1;
-      Some e.result
-  | Some _ | None ->
-      t.miss_count <- t.miss_count + 1;
-      None
+  let i = slot t ~a ~b in
+  if t.tag_a.(i) = a lsr t.half && t.tag_b.(i) = b lsr t.rest then begin
+    t.hit_count <- t.hit_count + 1;
+    t.last_hit <- true;
+    Some t.result.(i)
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    t.last_hit <- false;
+    None
+  end
 
 let insert t ~a ~b ~result =
-  let index, tag_a, tag_b = split_key t ~a ~b in
-  t.slots.(index) <- Some { tag_a; tag_b; result }
+  let i = slot t ~a ~b in
+  t.tag_a.(i) <- a lsr t.half;
+  t.tag_b.(i) <- b lsr t.rest;
+  t.result.(i) <- result
+
+let find_or_add t ~a ~b ~miss =
+  let i = slot t ~a ~b in
+  if t.tag_a.(i) = a lsr t.half && t.tag_b.(i) = b lsr t.rest then begin
+    t.hit_count <- t.hit_count + 1;
+    t.last_hit <- true;
+    t.result.(i)
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    t.last_hit <- false;
+    t.tag_a.(i) <- a lsr t.half;
+    t.tag_b.(i) <- b lsr t.rest;
+    t.result.(i) <- miss;
+    miss
+  end
+
+let last_was_hit t = t.last_hit
 
 let hits t = t.hit_count
 let misses t = t.miss_count
 
 let clear t =
-  Array.fill t.slots 0 (Array.length t.slots) None;
+  Array.fill t.tag_a 0 (Array.length t.tag_a) (-1);
+  Array.fill t.tag_b 0 (Array.length t.tag_b) (-1);
   t.hit_count <- 0;
-  t.miss_count <- 0
+  t.miss_count <- 0;
+  t.last_hit <- false

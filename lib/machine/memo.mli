@@ -20,6 +20,18 @@ val lookup : t -> a:int -> b:int -> int option
 
 val insert : t -> a:int -> b:int -> result:int -> unit
 
+val find_or_add : t -> a:int -> b:int -> miss:int -> int
+(** Combined lookup-or-install with a single table probe (one index/tag
+    computation instead of the two that [lookup]-then-[insert] pays).
+    On a hit the cached product is returned and a hit is counted; on a
+    miss [miss] is installed, returned, and a miss is counted — exactly
+    the counter behaviour of {!lookup} followed by {!insert}. *)
+
+val last_was_hit : t -> bool
+(** Whether the most recent {!lookup} or {!find_or_add} on this table
+    hit.  Lets the allocation-free machine fast path learn the probe
+    outcome without an [option]. *)
+
 val hits : t -> int
 val misses : t -> int
 

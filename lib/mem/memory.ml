@@ -28,10 +28,14 @@ let read16 t addr =
 
 let read16_signed t addr = Wn_util.Subword.sign_extend ~bits:16 (read16 t addr)
 
+(* Composed from two uint16 halves: [Bytes.get_uint16_le] returns an
+   immediate int, whereas [get_int32_le] would box an [Int32.t] on
+   every word load. *)
 let read32 t addr =
   check t addr 4 "read32";
   t.reads <- t.reads + 1;
-  Int32.to_int (Bytes.get_int32_le t.store addr) land 0xFFFF_FFFF
+  Bytes.get_uint16_le t.store addr
+  lor (Bytes.get_uint16_le t.store (addr + 2) lsl 16)
 
 let write8 t addr v =
   check t addr 1 "write8";
@@ -46,7 +50,8 @@ let write16 t addr v =
 let write32 t addr v =
   check t addr 4 "write32";
   t.writes <- t.writes + 1;
-  Bytes.set_int32_le t.store addr (Int32.of_int v)
+  Bytes.set_uint16_le t.store addr (v land 0xFFFF);
+  Bytes.set_uint16_le t.store (addr + 2) ((v lsr 16) land 0xFFFF)
 
 let read_stats t = (t.reads, t.writes)
 

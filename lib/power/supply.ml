@@ -4,41 +4,77 @@ type t = {
   trace : Trace.t;
   capacitor : Capacitor.t;
   infinite : bool;
+  per_tick : int; (* simulation cycles per trace tick, hoisted from the
+                     per-call float round the seed paid *)
   mutable cycles : int;
   mutable outage_count : int;
   mutable consumed : float;
+  (* Cached harvest segment: for cycle positions in
+     [tick_base, tick_end) the trace delivers [tick_power] watts.
+     Within-segment [consume] is then a multiply-add; the piecewise
+     integration only runs when an instruction spans a tick boundary. *)
+  mutable tick_base : int;
+  mutable tick_end : int;
+  mutable tick_power : float;
 }
 
 let default_clock_hz = 24e6
 
 let default_cycle_energy = 1.0e-9
 
+let compute_per_tick clock_hz =
+  int_of_float (Float.round (clock_hz *. Trace.sample_period_s))
+
+(* Re-anchor the cached segment on the tick containing [t.cycles]. *)
+let refresh_tick_cache t =
+  let tick = t.cycles / t.per_tick in
+  t.tick_base <- tick * t.per_tick;
+  t.tick_end <- t.tick_base + t.per_tick;
+  t.tick_power <- Trace.power_at_tick t.trace tick
+
 let create ?(clock_hz = default_clock_hz) ?(cycle_energy = default_cycle_energy)
     ?(start_full = true) ~trace ~capacitor () =
   if clock_hz <= 0.0 || cycle_energy < 0.0 then invalid_arg "Supply.create";
   if start_full then Capacitor.set_full capacitor;
-  {
-    clock_hz;
-    cycle_energy;
-    trace;
-    capacitor;
-    infinite = false;
-    cycles = 0;
-    outage_count = 0;
-    consumed = 0.0;
-  }
+  let t =
+    {
+      clock_hz;
+      cycle_energy;
+      trace;
+      capacitor;
+      infinite = false;
+      per_tick = compute_per_tick clock_hz;
+      cycles = 0;
+      outage_count = 0;
+      consumed = 0.0;
+      tick_base = 0;
+      tick_end = 0;
+      tick_power = 0.0;
+    }
+  in
+  refresh_tick_cache t;
+  t
 
 let always_on () =
-  {
-    clock_hz = default_clock_hz;
-    cycle_energy = default_cycle_energy;
-    trace = Trace.constant ~power:1.0 ~duration_s:1.0;
-    capacitor = Capacitor.create ();
-    infinite = true;
-    cycles = 0;
-    outage_count = 0;
-    consumed = 0.0;
-  }
+  let trace = Trace.constant ~power:1.0 ~duration_s:1.0 in
+  let t =
+    {
+      clock_hz = default_clock_hz;
+      cycle_energy = default_cycle_energy;
+      trace;
+      capacitor = Capacitor.create ();
+      infinite = true;
+      per_tick = compute_per_tick default_clock_hz;
+      cycles = 0;
+      outage_count = 0;
+      consumed = 0.0;
+      tick_base = 0;
+      tick_end = 0;
+      tick_power = 0.0;
+    }
+  in
+  refresh_tick_cache t;
+  t
 
 let now_cycles t = t.cycles
 
@@ -46,41 +82,48 @@ let now_s t = float_of_int t.cycles /. t.clock_hz
 
 let is_on t = t.infinite || Capacitor.is_on t.capacitor
 
-let cycles_per_tick t =
-  int_of_float (Float.round (t.clock_hz *. Trace.sample_period_s))
-
-let current_tick t = t.cycles / cycles_per_tick t
-
 (* Harvest inflow over [start, start + cycles) cycles, integrated
    piecewise across trace-tick boundaries: a multi-cycle instruction
    (the 16-cycle MUL) that spans a burst edge must credit each segment
    at that segment's power, not the whole instruction at the starting
-   tick's power. *)
-let harvest_over t ~start ~cycles =
-  let per_tick = cycles_per_tick t in
-  let finish = start + cycles in
-  let rec integrate pos acc =
-    if pos >= finish then acc
-    else
-      let tick = pos / per_tick in
-      let seg_end = min finish ((tick + 1) * per_tick) in
-      let seg = seg_end - pos in
-      integrate seg_end
-        (acc
-        +. Trace.power_at_tick t.trace tick
-           *. (float_of_int seg /. t.clock_hz))
-  in
-  integrate start 0.0
+   tick's power.  Left-to-right summation, like each call to this
+   function always performed. *)
+let harvest_spanning t ~start ~finish =
+  let per_tick = t.per_tick in
+  let pos = ref start in
+  let acc = ref 0.0 in
+  while !pos < finish do
+    let tick = !pos / per_tick in
+    let seg_end = min finish ((tick + 1) * per_tick) in
+    let seg = seg_end - !pos in
+    acc :=
+      !acc
+      +. Trace.power_at_tick t.trace tick *. (float_of_int seg /. t.clock_hz);
+    pos := seg_end
+  done;
+  !acc
 
 let consume t ~cycles =
   if cycles < 0 then invalid_arg "Supply.consume";
   let start = t.cycles in
-  t.cycles <- t.cycles + cycles;
+  let finish = start + cycles in
+  t.cycles <- finish;
   let joules = float_of_int cycles *. t.cycle_energy in
   t.consumed <- t.consumed +. joules;
   if t.infinite then true
   else begin
-    Capacitor.harvest t.capacitor (harvest_over t ~start ~cycles);
+    let inflow =
+      if start >= t.tick_base && finish <= t.tick_end then
+        (* Whole burst inside the cached tick: single multiply-add,
+           bit-identical to the one-segment integration (0.0 +. x = x). *)
+        t.tick_power *. (float_of_int cycles /. t.clock_hz)
+      else begin
+        let v = harvest_spanning t ~start ~finish in
+        refresh_tick_cache t;
+        v
+      end
+    in
+    Capacitor.harvest t.capacitor inflow;
     Capacitor.drain t.capacitor joules;
     let on = Capacitor.is_on t.capacitor in
     if not on then t.outage_count <- t.outage_count + 1;
@@ -90,18 +133,27 @@ let consume t ~cycles =
 let wait_for_power t =
   if is_on t then 0
   else begin
-    let per_tick = cycles_per_tick t in
     let start = t.cycles in
     let limit = t.cycles + int_of_float (600.0 *. t.clock_hz) in
     let rec charge () =
-      if is_on t then t.cycles - start
+      if is_on t then begin
+        refresh_tick_cache t;
+        t.cycles - start
+      end
       else if t.cycles > limit then
         failwith "Supply.wait_for_power: trace cannot recharge the capacitor"
       else begin
-        let tick = current_tick t in
+        (* Integrate only to the next tick boundary: an outage that
+           begins mid-tick charges for the remaining fraction of that
+           tick at that tick's power, keeping the clock aligned to the
+           trace instead of drifting by the mid-tick offset. *)
+        let tick = t.cycles / t.per_tick in
+        let boundary = (tick + 1) * t.per_tick in
+        let seg = boundary - t.cycles in
         Capacitor.harvest t.capacitor
-          (Trace.power_at_tick t.trace tick *. Trace.sample_period_s);
-        t.cycles <- t.cycles + per_tick;
+          (Trace.power_at_tick t.trace tick
+          *. (float_of_int seg /. t.clock_hz));
+        t.cycles <- boundary;
         charge ()
       end
     in

@@ -50,9 +50,12 @@ val consume : t -> cycles:int -> bool
 
 val wait_for_power : t -> int
 (** Block (advance the clock) until the capacitor recharges to turn-on;
-    returns the number of cycles spent off.  Raises [Failure] if the
-    trace cannot recharge the capacitor within a 10-minute simulated
-    window (a starved supply). *)
+    returns the number of cycles spent off.  An outage that begins
+    mid-tick first charges for the remaining fraction of that tick at
+    that tick's power, then proceeds tick-aligned — the clock never
+    drifts off the trace grid.  Raises [Failure] if the trace cannot
+    recharge the capacitor within a 10-minute simulated window (a
+    starved supply). *)
 
 val outages : t -> int
 (** Number of brown-outs observed so far. *)

@@ -28,6 +28,8 @@ let policy_name = function
   | Nvp _ -> "nvp"
   | Clank _ -> "clank"
 
+type engine = Fast | Compat
+
 type outcome = {
   completed : bool;
   skimmed : bool;
@@ -45,38 +47,82 @@ type snapshot_hook = active_cycles:int -> wall_cycles:int -> unit
 
 (* Clank epoch state: the last checkpoint plus the read-first/write
    sets used to detect idempotency (write-after-read) violations at
-   word granularity.  [written] only holds words *fully* overwritten
-   this epoch: a partial (byte/halfword) store must not suppress read
-   tracking of its sibling bytes, or a later write to them would escape
-   WAR detection and re-execution would read the new value. *)
+   word granularity.  The sets live in a [shadow] bitmap over data
+   memory — two bits per word (bit 0: read first this epoch, bit 1:
+   fully written this epoch), four words per byte — so membership tests
+   and inserts are array indexing instead of hashing.  [tracked] counts
+   set bits across both planes (a word in both planes counts twice),
+   mirroring the hardware's two tracking buffers filling independently.
+
+   The written plane only holds words *fully* overwritten this epoch: a
+   partial (byte/halfword) store must not suppress read tracking of its
+   sibling bytes, or a later write to them would escape WAR detection
+   and re-execution would read the new value. *)
 type clank_state = {
   mutable checkpoint : Machine.register_file;
-  read_first : (int, unit) Hashtbl.t;
-  written : (int, unit) Hashtbl.t;
+  shadow : Bytes.t;
+  mutable tracked : int;
   mutable since_ckpt_cycles : int;
   mutable since_ckpt_retired : int;
 }
 
+let read_bit = 1
+let write_bit = 2
+
+let shadow_bits st w =
+  Char.code (Bytes.unsafe_get st.shadow (w lsr 2)) lsr ((w land 3) * 2) land 3
+
+let shadow_set st w bit =
+  let i = w lsr 2 in
+  Bytes.unsafe_set st.shadow i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get st.shadow i) lor (bit lsl ((w land 3) * 2))))
+
+let shadow_clear st =
+  Bytes.fill st.shadow 0 (Bytes.length st.shadow) '\000';
+  st.tracked <- 0
+
 let word_of_addr addr = addr lsr 2
 
-(* Address a store at the current PC would write, computed from live
-   registers, so a violation can trigger a checkpoint *before* the
-   violating write commits. *)
-let pending_store_word machine =
-  let p = Machine.program machine in
-  let pc = Machine.pc machine in
-  if pc < 0 || pc >= Array.length p then None
-  else
-    match p.(pc) with
-    | Instr.Str { base; off; _ } ->
-        Some (word_of_addr (Machine.reg machine base + off))
-    | Instr.Str_reg { base; idx; _ } ->
-        Some (word_of_addr (Machine.reg machine base + Machine.reg machine idx))
-    | _ -> None
+(* Per-PC store-operand table, built once per [run]: for each PC that
+   holds a store, the registers/offset needed to compute its target
+   address from the live register file.  Replaces re-matching the
+   instruction ADT on every step of the WAR-violation pre-check. *)
+type store_table = {
+  (* 0 = not a store, 1 = Str (base + off), 2 = Str_reg (base + idx) *)
+  st_kind : int array;
+  st_base : Reg.t array;
+  st_off : int array;
+  st_idx : Reg.t array;
+}
 
-let run ?(policy = Always_on) ?(max_wall_cycles = 20_000_000_000)
-    ?(snapshot_every = 10_000) ?snapshot ?(halt_at_skim = false) ~machine
-    ~supply () =
+let build_store_table program =
+  let n = Array.length program in
+  let t =
+    {
+      st_kind = Array.make n 0;
+      st_base = Array.make n (Reg.r 0);
+      st_off = Array.make n 0;
+      st_idx = Array.make n (Reg.r 0);
+    }
+  in
+  Array.iteri
+    (fun pc i ->
+      match i with
+      | Instr.Str { base; off; _ } ->
+          t.st_kind.(pc) <- 1;
+          t.st_base.(pc) <- base;
+          t.st_off.(pc) <- off
+      | Instr.Str_reg { base; idx; _ } ->
+          t.st_kind.(pc) <- 2;
+          t.st_base.(pc) <- base;
+          t.st_idx.(pc) <- idx
+      | _ -> ())
+    program;
+  t
+
+let run ?(policy = Always_on) ?(engine = Fast)
+    ?(max_wall_cycles = 20_000_000_000) ?(snapshot_every = 10_000) ?snapshot
+    ?(halt_at_skim = false) ~machine ~supply () =
   let wall_start = Supply.now_cycles supply in
   let retired_start = Machine.instructions_retired machine in
   let active = ref 0 in
@@ -98,36 +144,72 @@ let run ?(policy = Always_on) ?(max_wall_cycles = 20_000_000_000)
     overhead := !overhead + cycles;
     ignore (Supply.consume supply ~cycles)
   in
+  (* Bind the policy configuration once; the per-instruction loop used
+     to re-match [policy] twice per step. *)
   let clank =
     match policy with
-    | Clank _ ->
+    | Clank cfg ->
+        let words = (Wn_mem.Memory.size (Machine.mem machine) + 3) / 4 in
         Some
-          {
-            checkpoint = Machine.capture_registers machine;
-            read_first = Hashtbl.create 64;
-            written = Hashtbl.create 64;
-            since_ckpt_cycles = 0;
-            since_ckpt_retired = 0;
-          }
+          ( cfg,
+            {
+              checkpoint = Machine.capture_registers machine;
+              shadow = Bytes.make ((words + 3) / 4) '\000';
+              tracked = 0;
+              since_ckpt_cycles = 0;
+              since_ckpt_retired = 0;
+            } )
     | Always_on | Nvp _ -> None
   in
+  let stores = build_store_table (Machine.program machine) in
+  let shadow_words st = Bytes.length st.shadow * 4 in
   let do_checkpoint cfg st =
     spend_overhead cfg.checkpoint_cycles;
     st.checkpoint <- Machine.capture_registers machine;
-    Hashtbl.reset st.read_first;
-    Hashtbl.reset st.written;
+    shadow_clear st;
     st.since_ckpt_cycles <- 0;
     st.since_ckpt_retired <- 0;
     incr checkpoint_count
   in
-  let set_size tbl = Hashtbl.length tbl in
-  let track_access cfg st ~read word =
-    let tbl = if read then st.read_first else st.written in
-    if not (Hashtbl.mem tbl word) then begin
-      if set_size st.read_first + set_size st.written >= cfg.buffer_entries
-      then do_checkpoint cfg st;
-      let tbl = if read then st.read_first else st.written in
-      Hashtbl.replace tbl word ()
+  (* Insert into one tracking plane, checkpointing first on overflow
+     (capacity is checked before the insert, as the hardware tests the
+     buffer before latching a new entry). *)
+  let track cfg st w bit =
+    if shadow_bits st w land bit = 0 then begin
+      if st.tracked >= cfg.buffer_entries then do_checkpoint cfg st;
+      shadow_set st w bit;
+      st.tracked <- st.tracked + 1
+    end
+  in
+  (* Watchdog and WAR-violation pre-check: a store about to write a word
+     read first in this epoch forces a checkpoint *before* the violating
+     write commits.  The store's target address comes from the per-PC
+     table and live registers. *)
+  let pre_step cfg st =
+    if st.since_ckpt_cycles >= cfg.watchdog_period then do_checkpoint cfg st
+    else begin
+      let pc = Machine.pc machine in
+      if pc >= 0 && pc < Array.length stores.st_kind then
+        match stores.st_kind.(pc) with
+        | 1 ->
+            let w =
+              word_of_addr (Machine.reg machine stores.st_base.(pc) + stores.st_off.(pc))
+            in
+            (* An out-of-range word cannot have been read this epoch
+               (tracked reads all succeeded, hence were in bounds). *)
+            if w >= 0 && w < shadow_words st
+               && shadow_bits st w land read_bit <> 0
+            then do_checkpoint cfg st
+        | 2 ->
+            let w =
+              word_of_addr
+                (Machine.reg machine stores.st_base.(pc)
+                + Machine.reg machine stores.st_idx.(pc))
+            in
+            if w >= 0 && w < shadow_words st
+               && shadow_bits st w land read_bit <> 0
+            then do_checkpoint cfg st
+        | _ -> ()
     end
   in
   let handle_skim_jump () =
@@ -141,37 +223,64 @@ let run ?(policy = Always_on) ?(max_wall_cycles = 20_000_000_000)
   let handle_outage () =
     incr outage_count;
     ignore (Supply.wait_for_power supply);
-    match policy with
-    | Always_on | Nvp _ ->
+    match clank with
+    | None ->
         let restore =
           match policy with Nvp c -> c.nvp_restore_cycles | _ -> 0
         in
         spend_overhead restore;
         (* NVP keeps all state; just honour a pending skim point. *)
         ignore (handle_skim_jump ())
-    | Clank cfg -> (
+    | Some (cfg, st) ->
         spend_overhead cfg.clank_restore_cycles;
-        match clank with
-        | None -> assert false
-        | Some st ->
-            if handle_skim_jump () then begin
-              (* The skim target's code depends only on NVM state, so a
-                 scrubbed register file is safe; start a fresh epoch
-                 there. *)
-              let pc = Machine.pc machine in
-              Machine.scrub_volatile machine;
-              Machine.set_pc machine pc;
-              st.checkpoint <- Machine.capture_registers machine
-            end
-            else begin
-              (* Roll back: everything since the checkpoint re-executes. *)
-              reexecuted := !reexecuted + st.since_ckpt_retired;
-              Machine.restore_registers machine st.checkpoint
-            end;
-            Hashtbl.reset st.read_first;
-            Hashtbl.reset st.written;
-            st.since_ckpt_cycles <- 0;
-            st.since_ckpt_retired <- 0)
+        if handle_skim_jump () then begin
+          (* The skim target's code depends only on NVM state, so a
+             scrubbed register file is safe; start a fresh epoch
+             there. *)
+          let pc = Machine.pc machine in
+          Machine.scrub_volatile machine;
+          Machine.set_pc machine pc;
+          st.checkpoint <- Machine.capture_registers machine
+        end
+        else begin
+          (* Roll back: everything since the checkpoint re-executes. *)
+          reexecuted := !reexecuted + st.since_ckpt_retired;
+          Machine.restore_registers machine st.checkpoint
+        end;
+        shadow_clear st;
+        st.since_ckpt_cycles <- 0;
+        st.since_ckpt_retired <- 0
+  in
+  (* Everything after an instruction executes, engine-independent.  All
+     effect arguments are immediates (addresses are -1 for "no such
+     access"), so the fast path passes them without allocating. *)
+  let post_step ~cycles ~read_addr ~wrote_addr ~wrote_bytes ~was_skm =
+    active := !active + cycles;
+    ignore (Supply.consume supply ~cycles);
+    (match clank with
+    | Some (cfg, st) ->
+        st.since_ckpt_cycles <- st.since_ckpt_cycles + cycles;
+        st.since_ckpt_retired <- st.since_ckpt_retired + 1;
+        if read_addr >= 0 then begin
+          let w = word_of_addr read_addr in
+          (* Skip only reads dominated by a *full-word* write, which
+             re-execution is guaranteed to reproduce. *)
+          if shadow_bits st w land write_bit = 0 then track cfg st w read_bit
+        end;
+        if wrote_addr >= 0 && wrote_bytes = 4 then
+          track cfg st (word_of_addr wrote_addr) write_bit
+    | None -> ());
+    if was_skm then begin
+      if !first_skim_active = None then first_skim_active := Some !active;
+      if halt_at_skim then
+        (* Model an outage at this very instant: take the skim jump
+           and commit the earliest available output. *)
+        ignore (handle_skim_jump ())
+    end;
+    if !active >= !next_snapshot then begin
+      take_snapshot ();
+      next_snapshot := !next_snapshot + snapshot_every
+    end
   in
   let wall_elapsed () = Supply.now_cycles supply - wall_start in
   let rec loop () =
@@ -182,55 +291,31 @@ let run ?(policy = Always_on) ?(max_wall_cycles = 20_000_000_000)
       loop ()
     end
     else begin
-      (match clank with
-      | Some st ->
-          let cfg =
-            match policy with Clank c -> c | _ -> assert false
+      (match clank with Some (cfg, st) -> pre_step cfg st | None -> ());
+      (match engine with
+      | Fast ->
+          Machine.step_fast machine;
+          post_step
+            ~cycles:(Machine.last_cycles machine)
+            ~read_addr:(Machine.last_read_addr machine)
+            ~wrote_addr:(Machine.last_wrote_addr machine)
+            ~wrote_bytes:(Machine.last_wrote_bytes machine)
+            ~was_skm:(Machine.last_was_skm machine)
+      | Compat ->
+          let res = Machine.step machine in
+          let read_addr =
+            match res.Machine.read with Some a -> a.Machine.addr | None -> -1
           in
-          if st.since_ckpt_cycles >= cfg.watchdog_period then
-            do_checkpoint cfg st
-          else begin
-            (* Idempotency violation: about to write a word that was
-               read first in this epoch. *)
-            match pending_store_word machine with
-            | Some word when Hashtbl.mem st.read_first word ->
-                do_checkpoint cfg st
-            | Some _ | None -> ()
-          end
-      | None -> ());
-      let res = Machine.step machine in
-      active := !active + res.cycles;
-      ignore (Supply.consume supply ~cycles:res.cycles);
-      (match clank with
-      | Some st ->
-          let cfg = match policy with Clank c -> c | _ -> assert false in
-          st.since_ckpt_cycles <- st.since_ckpt_cycles + res.cycles;
-          st.since_ckpt_retired <- st.since_ckpt_retired + 1;
-          (match res.read with
-          | Some { addr; _ } ->
-              let w = word_of_addr addr in
-              (* Skip only reads dominated by a *full-word* write, which
-                 re-execution is guaranteed to reproduce. *)
-              if not (Hashtbl.mem st.written w) then
-                track_access cfg st ~read:true w
-          | None -> ());
-          (match res.wrote with
-          | Some { addr; bytes } when bytes = 4 ->
-              track_access cfg st ~read:false (word_of_addr addr)
-          | Some _ | None -> ())
-      | None -> ());
-      (match res.instr with
-      | Instr.Skm _ ->
-          if !first_skim_active = None then first_skim_active := Some !active;
-          if halt_at_skim then
-            (* Model an outage at this very instant: take the skim jump
-               and commit the earliest available output. *)
-            ignore (handle_skim_jump ())
-      | _ -> ());
-      if !active >= !next_snapshot then begin
-        take_snapshot ();
-        next_snapshot := !next_snapshot + snapshot_every
-      end;
+          let wrote_addr, wrote_bytes =
+            match res.Machine.wrote with
+            | Some a -> (a.Machine.addr, a.Machine.bytes)
+            | None -> (-1, 0)
+          in
+          let was_skm =
+            match res.Machine.instr with Instr.Skm _ -> true | _ -> false
+          in
+          post_step ~cycles:res.Machine.cycles ~read_addr ~wrote_addr
+            ~wrote_bytes ~was_skm);
       loop ()
     end
   in

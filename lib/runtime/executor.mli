@@ -39,6 +39,14 @@ type policy = Always_on | Nvp of nvp_config | Clank of clank_config
 
 val policy_name : policy -> string
 
+type engine = Fast | Compat
+(** Which machine stepping interface drives the loop.  [Fast] (the
+    default) uses [Machine.step_fast] and the scratch-field effect
+    accessors — no per-instruction allocation.  [Compat] drives the
+    original [Machine.step] record interface.  The two are observably
+    identical (the differential suite asserts it); [Compat] exists as
+    the cross-check and for callers instrumenting [step_result]. *)
+
 type outcome = {
   completed : bool;  (** reached [Halt] (possibly via a skim jump) *)
   skimmed : bool;  (** finished through a skim-point jump *)
@@ -61,6 +69,7 @@ type snapshot_hook = active_cycles:int -> wall_cycles:int -> unit
 
 val run :
   ?policy:policy ->
+  ?engine:engine ->
   ?max_wall_cycles:int ->
   ?snapshot_every:int ->
   ?snapshot:snapshot_hook ->

@@ -1,0 +1,268 @@
+(* Differential tests for the simulator fast path: the predecoded
+   allocation-free [Machine.step_fast] against the reference
+   interpreter [Machine.step_reference], lockstep over the full
+   workload suite; the executor's [Fast] engine against [Compat] under
+   every intermittency policy; and the zero-allocation guarantee
+   itself via [Gc.minor_words]. *)
+
+open Wn_isa
+open Wn_workloads
+open Wn_machine
+open Wn_runtime
+
+let wcfg = { Workload.bits = 8; provisioned = true }
+
+let machine_configs =
+  [
+    ("baseline", Machine.default_config);
+    ("memo+zs", { Machine.memo_entries = Some 16; Machine.zero_skip = true });
+  ]
+
+let max_lockstep_steps = 500_000
+
+(* ---------------- machine-level lockstep ---------------- *)
+
+let check_step_effects name step (r : Machine.step_result) fast =
+  let fail fmt = Alcotest.failf ("%s step %d: " ^^ fmt) name step in
+  if r.Machine.cycles <> Machine.last_cycles fast then
+    fail "cycles %d vs %d" r.Machine.cycles (Machine.last_cycles fast);
+  let ra, rb =
+    match r.Machine.read with
+    | Some a -> (a.Machine.addr, a.Machine.bytes)
+    | None -> (-1, 0)
+  in
+  if ra <> Machine.last_read_addr fast then
+    fail "read addr %d vs %d" ra (Machine.last_read_addr fast);
+  if ra >= 0 && rb <> Machine.last_read_bytes fast then
+    fail "read bytes %d vs %d" rb (Machine.last_read_bytes fast);
+  let wa, wb =
+    match r.Machine.wrote with
+    | Some a -> (a.Machine.addr, a.Machine.bytes)
+    | None -> (-1, 0)
+  in
+  if wa <> Machine.last_wrote_addr fast then
+    fail "wrote addr %d vs %d" wa (Machine.last_wrote_addr fast);
+  if wa >= 0 && wb <> Machine.last_wrote_bytes fast then
+    fail "wrote bytes %d vs %d" wb (Machine.last_wrote_bytes fast);
+  if r.Machine.memo_hit <> Machine.last_memo_hit fast then
+    fail "memo_hit %b vs %b" r.Machine.memo_hit (Machine.last_memo_hit fast);
+  if r.Machine.zero_skipped <> Machine.last_zero_skipped fast then
+    fail "zero_skipped %b vs %b" r.Machine.zero_skipped
+      (Machine.last_zero_skipped fast);
+  let skm = match r.Machine.instr with Instr.Skm _ -> true | _ -> false in
+  if skm <> Machine.last_was_skm fast then
+    fail "skm flag %b vs %b" skm (Machine.last_was_skm fast)
+
+let check_machines_equal name m_ref m_fast =
+  let fail fmt = Alcotest.failf ("%s: " ^^ fmt) name in
+  if Machine.pc m_ref <> Machine.pc m_fast then
+    fail "pc %d vs %d" (Machine.pc m_ref) (Machine.pc m_fast);
+  if Machine.flags m_ref <> Machine.flags m_fast then fail "flags differ";
+  if Machine.halted m_ref <> Machine.halted m_fast then fail "halt differs";
+  if Machine.skim_target m_ref <> Machine.skim_target m_fast then
+    fail "skim target differs";
+  for i = 0 to Reg.count - 1 do
+    let r = Reg.r i in
+    if Machine.reg m_ref r <> Machine.reg m_fast r then
+      fail "r%d: %d vs %d" i (Machine.reg m_ref r) (Machine.reg m_fast r)
+  done;
+  if
+    Machine.instructions_retired m_ref <> Machine.instructions_retired m_fast
+  then
+    fail "retired %d vs %d"
+      (Machine.instructions_retired m_ref)
+      (Machine.instructions_retired m_fast);
+  if Machine.cycles_executed m_ref <> Machine.cycles_executed m_fast then
+    fail "cycles %d vs %d"
+      (Machine.cycles_executed m_ref)
+      (Machine.cycles_executed m_fast);
+  if Machine.wn_instructions m_ref <> Machine.wn_instructions m_fast then
+    fail "wn retired differ";
+  (match (Machine.memo m_ref, Machine.memo m_fast) with
+  | Some a, Some b ->
+      if Memo.hits a <> Memo.hits b || Memo.misses a <> Memo.misses b then
+        fail "memo counters (%d,%d) vs (%d,%d)" (Memo.hits a) (Memo.misses a)
+          (Memo.hits b) (Memo.misses b)
+  | None, None -> ()
+  | _ -> fail "memo presence differs");
+  if
+    Wn_mem.Memory.snapshot (Machine.mem m_ref)
+    <> Wn_mem.Memory.snapshot (Machine.mem m_fast)
+  then fail "memory images differ"
+
+let lockstep_workload wname (cfg_name, mcfg) () =
+  let w = Suite.find Workload.Small wname in
+  let b = Wn_core.Runner.build w wcfg in
+  let m_ref = Wn_core.Runner.machine ~machine_config:mcfg b in
+  let m_fast = Wn_core.Runner.machine ~machine_config:mcfg b in
+  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 42) in
+  Wn_core.Runner.load_sample b m_ref inputs;
+  Wn_core.Runner.load_sample b m_fast inputs;
+  let name = Printf.sprintf "%s/%s" wname cfg_name in
+  let steps = ref 0 in
+  while (not (Machine.halted m_ref)) && !steps < max_lockstep_steps do
+    incr steps;
+    let r = Machine.step_reference m_ref in
+    Machine.step_fast m_fast;
+    check_step_effects name !steps r m_fast;
+    if Machine.pc m_ref <> Machine.pc m_fast then
+      Alcotest.failf "%s step %d: pc %d vs %d" name !steps (Machine.pc m_ref)
+        (Machine.pc m_fast)
+  done;
+  check_machines_equal name m_ref m_fast;
+  if !steps = 0 then Alcotest.fail "workload executed no instructions"
+
+(* The [step] wrapper must report exactly what [step_reference] does. *)
+let test_step_wrapper () =
+  let w = Suite.find Workload.Small "Var" in
+  let b = Wn_core.Runner.build w wcfg in
+  let mcfg = { Machine.memo_entries = Some 16; Machine.zero_skip = true } in
+  let m_ref = Wn_core.Runner.machine ~machine_config:mcfg b in
+  let m_wrap = Wn_core.Runner.machine ~machine_config:mcfg b in
+  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 7) in
+  Wn_core.Runner.load_sample b m_ref inputs;
+  Wn_core.Runner.load_sample b m_wrap inputs;
+  let steps = ref 0 in
+  while (not (Machine.halted m_ref)) && !steps < max_lockstep_steps do
+    incr steps;
+    let r = Machine.step_reference m_ref in
+    let s = Machine.step m_wrap in
+    if r <> s then Alcotest.failf "step %d: step_result records differ" !steps
+  done;
+  check_machines_equal "Var/wrapper" m_ref m_wrap
+
+(* ---------------- executor-level: Fast vs Compat ---------------- *)
+
+let policies =
+  [
+    ("always_on", Executor.Always_on);
+    ("nvp", Executor.Nvp Executor.default_nvp);
+    ("clank", Executor.Clank Executor.default_clank);
+  ]
+
+let run_with_engine engine b w inputs policy =
+  let mcfg = { Machine.memo_entries = Some 16; Machine.zero_skip = true } in
+  let m = Wn_core.Runner.machine ~machine_config:mcfg b in
+  Wn_core.Runner.load_sample b m inputs;
+  let trace =
+    Wn_power.Trace.square ~on_ms:3 ~off_ms:30 ~power:2e-3 ~duration_s:4.0
+  in
+  let supply =
+    Wn_power.Supply.create ~trace ~capacitor:(Wn_power.Capacitor.create ()) ()
+  in
+  let outcome = Executor.run ~policy ~engine ~machine:m ~supply () in
+  ignore w;
+  (outcome, Wn_mem.Memory.snapshot (Machine.mem m))
+
+let executor_differential wname (pname, policy) () =
+  let w = Suite.find Workload.Small wname in
+  let b = Wn_core.Runner.build w wcfg in
+  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 11) in
+  let o_fast, mem_fast = run_with_engine Executor.Fast b w inputs policy in
+  let o_compat, mem_compat = run_with_engine Executor.Compat b w inputs policy in
+  let name = Printf.sprintf "%s/%s" wname pname in
+  let check_int field a b =
+    if a <> b then Alcotest.failf "%s: %s %d vs %d" name field a b
+  in
+  check_int "wall_cycles" o_fast.Executor.wall_cycles o_compat.Executor.wall_cycles;
+  check_int "active_cycles" o_fast.Executor.active_cycles
+    o_compat.Executor.active_cycles;
+  check_int "overhead_cycles" o_fast.Executor.overhead_cycles
+    o_compat.Executor.overhead_cycles;
+  check_int "reexecuted" o_fast.Executor.reexecuted_instructions
+    o_compat.Executor.reexecuted_instructions;
+  check_int "outages" o_fast.Executor.outage_count o_compat.Executor.outage_count;
+  check_int "checkpoints" o_fast.Executor.checkpoint_count
+    o_compat.Executor.checkpoint_count;
+  check_int "retired" o_fast.Executor.retired o_compat.Executor.retired;
+  if o_fast.Executor.completed <> o_compat.Executor.completed then
+    Alcotest.failf "%s: completed differs" name;
+  if o_fast.Executor.skimmed <> o_compat.Executor.skimmed then
+    Alcotest.failf "%s: skimmed differs" name;
+  if o_fast.Executor.first_skim_active <> o_compat.Executor.first_skim_active
+  then Alcotest.failf "%s: first_skim_active differs" name;
+  if mem_fast <> mem_compat then Alcotest.failf "%s: memory images differ" name
+
+(* ---------------- zero allocation ---------------- *)
+
+(* ALU / load / store / branch / multiply / SKM steady-state loop that
+   cannot halt within the measured window. *)
+let alloc_probe_program =
+  Asm.assemble_exn
+    [
+      Asm.I (Instr.Mov_imm (Reg.r 0, 0));
+      Asm.I (Instr.Mov_imm (Reg.r 1, 1));
+      Asm.I (Instr.Mov_imm (Reg.r 2, 1_000_000));
+      Asm.Label "loop";
+      Asm.I
+        (Instr.Ldr
+           { width = Instr.Word; signed = false; rd = Reg.r 3; base = Reg.r 0; off = 0 });
+      Asm.I (Instr.Alu (Instr.Add, Reg.r 3, Reg.r 3, Reg.r 1));
+      Asm.I (Instr.Str { width = Instr.Word; rs = Reg.r 3; base = Reg.r 0; off = 0 });
+      Asm.I (Instr.Mul (Reg.r 4, Reg.r 3, Reg.r 1));
+      Asm.I (Instr.Skm "done");
+      Asm.I (Instr.Alu (Instr.Sub, Reg.r 2, Reg.r 2, Reg.r 1));
+      Asm.I (Instr.Cmp_imm (Reg.r 2, 0));
+      Asm.I (Instr.B (Cond.Ne, "loop"));
+      Asm.Label "done";
+      Asm.I Instr.Halt;
+    ]
+
+let test_step_fast_no_alloc () =
+  let mem = Wn_mem.Memory.create ~size:256 in
+  let config = { Machine.memo_entries = Some 16; Machine.zero_skip = true } in
+  let m = Machine.create ~config ~program:alloc_probe_program ~mem () in
+  (* Warm up: first executions of every closure, lazy runtime setup. *)
+  for _ = 1 to 1_000 do
+    Machine.step_fast m
+  done;
+  (* [Gc.minor_words] itself boxes its float result; measure that
+     constant the same way the real measurement pays it, and subtract. *)
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let baseline = b -. a in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Machine.step_fast m
+  done;
+  let w1 = Gc.minor_words () in
+  let allocated = w1 -. w0 -. baseline in
+  if allocated <> 0.0 then
+    Alcotest.failf "step_fast allocated %.0f minor words over 10k instructions"
+      allocated;
+  if Machine.halted m then Alcotest.fail "probe program halted inside window"
+
+let () =
+  let lockstep_cases =
+    List.concat_map
+      (fun wname ->
+        List.map
+          (fun (cfg_name, mcfg) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s %s" wname cfg_name)
+              `Quick
+              (lockstep_workload wname (cfg_name, mcfg)))
+          machine_configs)
+      Suite.names
+  in
+  let executor_cases =
+    List.concat_map
+      (fun wname ->
+        List.map
+          (fun p ->
+            Alcotest.test_case
+              (Printf.sprintf "%s %s" wname (fst p))
+              `Quick
+              (executor_differential wname p))
+          policies)
+      [ "Var"; "Home"; "MatAdd" ]
+  in
+  Alcotest.run "wn.fastpath"
+    [
+      ("machine lockstep", lockstep_cases);
+      ( "step wrapper",
+        [ Alcotest.test_case "record identical" `Quick test_step_wrapper ] );
+      ("executor fast vs compat", executor_cases);
+      ( "allocation",
+        [ Alcotest.test_case "step_fast allocation-free" `Quick test_step_fast_no_alloc ] );
+    ]

@@ -321,6 +321,87 @@ let prop_mul_asp_matches_digits =
       let m = run items in
       Machine.reg m (r 0) = x * y land 0xFFFFFFFF)
 
+(* [find_or_add] must behave exactly like lookup-then-insert: same
+   results, same hit/miss counters, same [last_was_hit], over a mix of
+   hits, cold misses and conflict evictions. *)
+let test_memo_find_or_add () =
+  let split = Memo.create ~entries:16 () in
+  let combined = Memo.create ~entries:16 () in
+  let pairs =
+    (* repeats (hits), fresh pairs (misses) and slot-conflicting pairs
+       (evictions: 16 entries index on 2 low bits of each operand). *)
+    [ (3, 17); (3, 17); (5, 9); (7, 17); (3, 17); (19, 9); (5, 9);
+      (3 + 4, 17); (3, 17 + 4); (3, 17); (0, 0); (0, 0) ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let r_split =
+        match Memo.lookup split ~a ~b with
+        | Some r -> r
+        | None ->
+            let r = a * b in
+            Memo.insert split ~a ~b ~result:r;
+            r
+      in
+      let r_combined = Memo.find_or_add combined ~a ~b ~miss:(a * b) in
+      Alcotest.(check int) "result" r_split r_combined;
+      Alcotest.(check bool) "last_was_hit"
+        (Memo.last_was_hit split) (Memo.last_was_hit combined))
+    pairs;
+  Alcotest.(check int) "hits" (Memo.hits split) (Memo.hits combined);
+  Alcotest.(check int) "misses" (Memo.misses split) (Memo.misses combined);
+  if Memo.hits combined = 0 then Alcotest.fail "sequence produced no hits";
+  if Memo.misses combined = 0 then Alcotest.fail "sequence produced no misses"
+
+(* The dispatch table is predecoded once at [create]; resets and
+   volatility scrubs must keep executing from it.  Runs a task with a
+   skim point to completion through [step_fast], then again after
+   [reset_for_new_task], then replays an outage-with-skim
+   ([scrub_volatile] + jump to the skim target). *)
+let test_predecode_survives_reset_and_scrub () =
+  let program =
+    Asm.assemble_exn
+      [
+        Asm.I (Instr.Mov_imm (r 0, 7));
+        Asm.I (Instr.Skm "skim");
+        Asm.I (Instr.Mov_imm (r 1, 3));
+        Asm.I (Instr.Alu (Instr.Add, r 2, r 0, r 1));
+        Asm.Label "skim";
+        Asm.I (Instr.Mov_imm (r 3, 42));
+        Asm.I Instr.Halt;
+      ]
+  in
+  let mem = Wn_mem.Memory.create ~size:64 in
+  let machine = Machine.create ~program ~mem () in
+  let run_to_halt () =
+    while not (Machine.halted machine) do
+      Machine.step_fast machine
+    done
+  in
+  run_to_halt ();
+  check_reg machine "first run r2" 10 2;
+  check_reg machine "first run r3" 42 3;
+  (* Fresh task: the same predecoded table must replay identically. *)
+  Machine.reset_for_new_task machine;
+  Alcotest.(check int) "reset pc" 0 (Machine.pc machine);
+  check_reg machine "reset scrubs r2" 0 2;
+  run_to_halt ();
+  check_reg machine "second run r2" 10 2;
+  (* Outage replay: stop after the skim latch, scrub volatile state and
+     resume at the skim target, still through the predecoded table. *)
+  Machine.reset_for_new_task machine;
+  Machine.step_fast machine;
+  Machine.step_fast machine;
+  Alcotest.(check bool) "skim latched" true (Machine.skim_target machine <> None);
+  Machine.scrub_volatile machine;
+  check_reg machine "scrub clears r0" 0 0;
+  (match Machine.take_skim machine with
+  | Some tgt -> Machine.set_pc machine tgt
+  | None -> Alcotest.fail "skim register lost");
+  run_to_halt ();
+  check_reg machine "skim path r3" 42 3;
+  check_reg machine "skim path skips r2" 0 2
+
 let () =
   Alcotest.run "wn.machine"
     [
@@ -351,7 +432,12 @@ let () =
           Alcotest.test_case "memoization" `Quick test_memoization;
           Alcotest.test_case "zero skipping" `Quick test_zero_skipping;
           Alcotest.test_case "memo table" `Quick test_memo_table_unit;
+          Alcotest.test_case "find_or_add" `Quick test_memo_find_or_add;
         ] );
       ( "state",
-        [ Alcotest.test_case "capture/restore/scrub" `Quick test_capture_restore_scrub ] );
+        [
+          Alcotest.test_case "capture/restore/scrub" `Quick test_capture_restore_scrub;
+          Alcotest.test_case "predecode across reset/scrub" `Quick
+            test_predecode_survives_reset_and_scrub;
+        ] );
     ]

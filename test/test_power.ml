@@ -142,6 +142,39 @@ let test_supply_piecewise_harvest () =
     (e2 +. (2e-3 *. 110.0 /. 24e6) -. (24_000.0 *. 1e-10))
     (Capacitor.energy cap)
 
+let test_wait_for_power_mid_tick () =
+  (* Regression: an outage beginning mid-tick must first credit the
+     remainder of that tick at that tick's power, then proceed whole
+     ticks on the trace grid.  The old code charged full-length ticks
+     starting at the outage point, over-crediting the first one and
+     drifting the clock off the 1 ms grid for good. *)
+  let trace = Trace.square ~on_ms:1 ~off_ms:1 ~power:2e-3 ~duration_s:0.1 in
+  let cap = Capacitor.create () in
+  Capacitor.set_empty cap;
+  let supply = Supply.create ~start_full:false ~trace ~capacitor:cap () in
+  (* 10k cycles into tick 0 (24k cycles per tick): off mid-tick. *)
+  ignore (Supply.consume supply ~cycles:10_000);
+  Alcotest.(check bool) "off mid-tick" false (Supply.is_on supply);
+  let e0 = Capacitor.energy cap in
+  let waited = Supply.wait_for_power supply in
+  Alcotest.(check bool) "recovered" true (Supply.is_on supply);
+  (* The clock comes back on the trace grid: 14k cycles close tick 0,
+     then whole 24k-cycle ticks. *)
+  Alcotest.(check int) "tick-aligned resume" 0
+    (Supply.now_cycles supply mod 24_000);
+  if waited < 14_000 then Alcotest.failf "waited only %d cycles" waited;
+  Alcotest.(check int) "whole ticks after the partial one" 0
+    ((waited - 14_000) mod 24_000);
+  (* Exact energy balance: the 14k-cycle remainder of tick 0 at tick
+     0's power, then each full tick at its own power. *)
+  let n_full = (waited - 14_000) / 24_000 in
+  let expect = ref (e0 +. (2e-3 *. 14_000.0 /. 24e6)) in
+  for k = 1 to n_full do
+    expect := !expect +. (Trace.power_at_tick trace k *. 24_000.0 /. 24e6)
+  done;
+  Alcotest.(check (float 1e-12)) "mid-tick partial credit" !expect
+    (Capacitor.energy cap)
+
 let test_burst_length_calibration () =
   (* The paper's regime: a full charge lasts of the order of a
      millisecond at 24 MHz (tens of thousands of cycles). *)
@@ -176,6 +209,7 @@ let () =
           Alcotest.test_case "outage and recovery" `Quick test_supply_outage_and_recovery;
           Alcotest.test_case "starved" `Quick test_supply_starved;
           Alcotest.test_case "piecewise harvest" `Quick test_supply_piecewise_harvest;
+          Alcotest.test_case "mid-tick wait_for_power" `Quick test_wait_for_power_mid_tick;
           Alcotest.test_case "burst calibration" `Quick test_burst_length_calibration;
         ] );
     ]
