@@ -5,6 +5,7 @@
      wn run BENCH ...             execute one benchmark task
      wn curve BENCH ...           runtime-quality curve as CSV
      wn figure ID ...             regenerate a table/figure of the paper
+     wn inject BENCH ...          outage-point fault-injection sweep
      wn disasm BENCH ...          show the compiled WN-32 program
      wn lint BENCH ...            static verification of the compiled program
      wn source BENCH ...          show the generated WNC source *)
@@ -51,6 +52,19 @@ let catch_compile_error f =
   | r -> r
   | exception Wn_compiler.Compile.Error e -> Error (`Msg e)
 
+(* Range checks for numeric options cmdliner's [int] converter accepts
+   syntactically: a nonsensical value exits with a one-line error, not a
+   traceback (or worse, a divide-by-zero deep in a sweep). *)
+let require_positive name v =
+  if v >= 1 then Ok v
+  else Error (`Msg (Printf.sprintf "--%s must be >= 1 (got %d)" name v))
+
+let require_non_negative name v =
+  if v >= 0 then Ok v
+  else Error (`Msg (Printf.sprintf "--%s must be >= 0 (got %d)" name v))
+
+let ( let* ) = Result.bind
+
 let find_bench scale name =
   match Suite.find_opt scale name with
   | Some w -> Ok w
@@ -96,30 +110,56 @@ let system_arg =
 let precise_arg =
   Arg.(value & flag & info [ "precise" ] ~doc:"Build the precise baseline (no WN).")
 
-let run_bench bench_name scale bits precise system seed =
-  match find_bench scale bench_name with
-  | Error e -> Error e
-  | Ok w ->
-      catch_compile_error @@ fun () ->
+(* Parsed by hand rather than [Arg.enum] so an unknown id gives the
+   same one-line diagnostic shape as an unknown benchmark, not a
+   multi-line usage dump. *)
+let trace_arg =
+  Arg.(
+    value & opt string "rf"
+    & info [ "trace" ] ~docv:"TRACE"
+        ~doc:
+          "Harvesting trace for --system clank/nvp: $(b,rf) (bursty RF), \
+           $(b,square) (2 ms on / 8 ms off) or $(b,constant).")
+
+let find_trace = function
+  | "rf" -> Ok `Rf
+  | "square" -> Ok `Square
+  | "constant" -> Ok `Constant
+  | id ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown trace %S (know: rf, square, constant)" id))
+
+let run_bench bench_name scale bits precise system trace_name seed =
+  let* w = find_bench scale bench_name in
+  let* trace_id = find_trace trace_name in
+  catch_compile_error @@ fun () ->
       let cfg = { Workload.bits; provisioned = true } in
       let b = Wn_core.Runner.build ~precise w cfg in
       let rng = Wn_util.Rng.create seed in
       let inputs = w.Workload.fresh_inputs rng in
       let machine = Wn_core.Runner.machine b in
       Wn_core.Runner.load_sample b machine inputs;
+      let trace () =
+        match trace_id with
+        | `Rf -> Wn_power.Trace.rf_burst ~seed:(seed + 1) ~duration_s:60.0 ()
+        | `Square ->
+            Wn_power.Trace.square ~on_ms:2 ~off_ms:8 ~power:2e-3 ~duration_s:60.0
+        | `Constant -> Wn_power.Trace.constant ~power:2e-3 ~duration_s:60.0
+      in
+      let harvesting () =
+        Wn_power.Supply.create ~trace:(trace ())
+          ~capacitor:(Wn_power.Capacitor.create ()) ()
+      in
       let policy, supply =
         match system with
         | `None -> (Wn_runtime.Executor.Always_on, Wn_power.Supply.always_on ())
         | `Clank ->
-            ( Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank,
-              Wn_power.Supply.create
-                ~trace:(Wn_power.Trace.rf_burst ~seed:(seed + 1) ~duration_s:60.0 ())
-                ~capacitor:(Wn_power.Capacitor.create ()) () )
+            (Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank,
+             harvesting ())
         | `Nvp ->
-            ( Wn_runtime.Executor.Nvp Wn_runtime.Executor.default_nvp,
-              Wn_power.Supply.create
-                ~trace:(Wn_power.Trace.rf_burst ~seed:(seed + 1) ~duration_s:60.0 ())
-                ~capacitor:(Wn_power.Capacitor.create ()) () )
+            (Wn_runtime.Executor.Nvp Wn_runtime.Executor.default_nvp,
+             harvesting ())
       in
       let o = Wn_runtime.Executor.run ~policy ~machine ~supply () in
       let out = Wn_core.Runner.output b machine in
@@ -148,7 +188,7 @@ let run_cmd =
     Term.(
       term_result
         (const run_bench $ bench_arg $ scale_arg $ bits_arg $ precise_arg
-       $ system_arg $ seed_arg))
+       $ system_arg $ trace_arg $ seed_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute one benchmark task and report its outcome")
@@ -183,6 +223,8 @@ let curve_cmd =
           | Error e -> Error e
           | Ok w -> Result.map (fun ws -> w :: ws) (find_all rest))
     in
+    let* points = require_positive "points" points in
+    let* jobs = require_positive "jobs" jobs in
     match find_all benches with
     | Error e -> Error e
     | Ok ws ->
@@ -226,6 +268,8 @@ let figure_cmd =
           ~doc:"Use the paper's 9 traces x 3 invocations for figures 10/11.")
   in
   let run id scale seed out paper_setup jobs =
+    let* jobs = require_positive "jobs" jobs in
+    let* _ = require_non_negative "seed" seed in
     let opts =
       {
         Wn_core.Figures.scale;
@@ -249,6 +293,117 @@ let figure_cmd =
       term_result
         (const run $ id_arg $ scale_arg $ seed_arg $ out_arg $ paper_setup_arg
        $ jobs_arg))
+
+(* ---------------- wn inject ---------------- *)
+
+let inject_cmd =
+  let points_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "points" ] ~docv:"N"
+          ~doc:"Sampled outage points per configuration (>= 1).")
+  in
+  let inject_seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Boundary-sampling seed (>= 0).")
+  in
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:"Inject at every instruction boundary (ignores --points).")
+  in
+  let inj_system_arg =
+    let sys_conv =
+      Arg.enum [ ("clank", `Clank); ("nvp", `Nvp); ("both", `Both) ]
+    in
+    Arg.(
+      value & opt sys_conv `Both
+      & info [ "system" ] ~docv:"SYS"
+          ~doc:"Intermittency model to sweep: $(b,clank), $(b,nvp) or $(b,both).")
+  in
+  let inj_skim_arg =
+    let skim_conv = Arg.enum [ ("on", `On); ("off", `Off); ("both", `Both) ] in
+    Arg.(
+      value & opt skim_conv `Both
+      & info [ "skim" ] ~docv:"MODE"
+          ~doc:
+            "Build under test: $(b,on) (anytime build with skim points), \
+             $(b,off) (precise build) or $(b,both).")
+  in
+  let differential_arg =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Also run every point under the Compat engine and require \
+             bit-identical restore state and outcome.")
+  in
+  let run bench scale bits points seed exhaustive system skim differential jobs
+      =
+    let* jobs = require_positive "jobs" jobs in
+    let* points = require_positive "points" points in
+    let* seed = require_non_negative "seed" seed in
+    match find_bench scale bench with
+    | Error e -> Error e
+    | Ok w ->
+        catch_compile_error @@ fun () ->
+        let systems =
+          match system with
+          | `Clank -> [ Wn_core.Intermittent.Clank ]
+          | `Nvp -> [ Wn_core.Intermittent.Nvp ]
+          | `Both -> [ Wn_core.Intermittent.Clank; Wn_core.Intermittent.Nvp ]
+        in
+        let skims =
+          match skim with
+          | `On -> [ true ]
+          | `Off -> [ false ]
+          | `Both -> [ true; false ]
+        in
+        let mode =
+          if exhaustive then Wn_core.Inject.Exhaustive
+          else Wn_core.Inject.Sampled points
+        in
+        let total_violations = ref 0 in
+        List.iter
+          (fun system ->
+            List.iter
+              (fun skim ->
+                let config =
+                  {
+                    Wn_core.Inject.default_config with
+                    system;
+                    skim;
+                    bits;
+                    sample_seed = seed;
+                    differential;
+                  }
+                in
+                let report = Wn_core.Inject.sweep ~jobs ~mode ~config w in
+                total_violations :=
+                  !total_violations
+                  + List.length report.Wn_core.Inject.violations;
+                Format.printf "%a@?" Wn_core.Inject.pp report)
+              skims)
+          systems;
+        if !total_violations = 0 then Ok ()
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "fault-injection oracle: %d violation(s)"
+                  !total_violations))
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Sweep forced outages over a benchmark's instruction boundaries \
+          and check the crash-consistency oracle")
+    Term.(
+      term_result
+        (const run $ bench_arg $ scale_arg $ bits_arg $ points_arg
+       $ inject_seed_arg $ exhaustive_arg $ inj_system_arg $ inj_skim_arg
+       $ differential_arg $ jobs_arg))
 
 (* ---------------- wn disasm / wn source ---------------- *)
 
@@ -335,5 +490,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; curve_cmd; figure_cmd; disasm_cmd; lint_cmd;
-            source_cmd ]))
+          [ list_cmd; run_cmd; curve_cmd; figure_cmd; inject_cmd; disasm_cmd;
+            lint_cmd; source_cmd ]))

@@ -1,0 +1,54 @@
+(** Outage-point fault-injection sweeps over the benchmark suite.
+
+    Drives {!Wn_faults.Faults} across many instruction boundaries of a
+    workload — exhaustively for small programs, or by seeded stratified
+    sampling biased toward checkpoint/SKM/store neighbourhoods — fanning
+    the injected runs out over a {!Wn_exec.Pool}.  Every injected run is
+    a pure function of (workload, config, boundary), and verdicts are
+    re-merged in boundary order, so the report is bit-identical for
+    every [jobs] value. *)
+
+open Wn_workloads
+
+type mode =
+  | Exhaustive  (** every boundary in [1, retired - 1] *)
+  | Sampled of int
+      (** at least this many distinct boundaries (capped by the
+          exhaustive count): half uniform, half drawn from store /
+          checkpoint / SKM neighbourhoods (±2 instructions), plus the
+          first/last boundaries and the first-skim edge as anchors *)
+
+type config = {
+  system : Intermittent.system;
+  skim : bool;  (** anytime build (skim points compiled in) vs precise *)
+  bits : int;
+  input_seed : int;  (** input-sample generator seed *)
+  sample_seed : int;  (** boundary-sampling seed *)
+  off_cycles : int;  (** powered-off period per injected outage *)
+  differential : bool;
+      (** additionally run every point under the Compat engine and
+          require bit-identical restore state and outcome *)
+}
+
+val default_config : config
+(** Clank, anytime build, 8-bit subwords, seeds 5/11, default
+    off-period, no differential. *)
+
+type report = {
+  workload : string;
+  config : config;
+  retired : int;  (** continuous-run length in instructions *)
+  first_skim : int option;
+  checkpoints_continuous : int;
+      (** checkpoints the policy places on an uninterrupted run *)
+  exhaustive : bool;
+  points : int;
+  skim_commits : int;  (** injected points that finished via skim *)
+  violations : (int * string) list;
+      (** (boundary, oracle message), in boundary order *)
+}
+
+val sweep : ?jobs:int -> mode:mode -> config:config -> Workload.t -> report
+
+val pp : Format.formatter -> report -> unit
+(** Deterministic human-readable report (the CI artifact format). *)

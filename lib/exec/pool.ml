@@ -121,7 +121,8 @@ let run t f xs =
         (Array.map (function Some r -> r | None -> assert false) results)
 
 let map ~jobs f xs =
-  if jobs <= 1 then List.map f xs
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1"
+  else if jobs = 1 then List.map f xs
   else
     let t = create ~jobs:(min jobs (max 1 (List.length xs))) () in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t f xs)

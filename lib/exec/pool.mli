@@ -45,7 +45,9 @@ val shutdown : t -> unit
 (** Joins all worker domains.  Idempotent. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** One-shot convenience: [create], {!run}, [shutdown].  [jobs <= 1]
+(** One-shot convenience: [create], {!run}, [shutdown].  [jobs = 1]
     degrades to [List.map] in the caller; the pool size is additionally
     capped at the list length so [jobs > tasks] spawns no idle
-    domains. *)
+    domains.  [jobs < 1] raises [Invalid_argument] — a zero or negative
+    pool width is a caller bug, and clamping it silently would hide a
+    mistuned sweep configuration (matching {!create}). *)

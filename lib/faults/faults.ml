@@ -1,0 +1,182 @@
+open Wn_machine
+open Wn_power
+module Executor = Wn_runtime.Executor
+
+type scenario = { fresh : unit -> Machine.t; policy : Executor.policy }
+
+type profile = {
+  retired : int;
+  final_digest : Digest.t;
+  first_skim : int option;
+  store_boundaries : int array;
+  skm_boundaries : int array;
+  checkpoint_boundaries : int array;
+}
+
+let default_max_steps = 1_000_000_000
+
+let mem_digest m = Digest.bytes (Wn_mem.Memory.snapshot (Machine.mem m))
+
+let profile ?(max_steps = default_max_steps) scenario =
+  let m = scenario.fresh () in
+  let stores = ref [] and skms = ref [] in
+  let n = ref 0 in
+  while not (Machine.halted m) do
+    if !n >= max_steps then failwith "Faults.profile: program did not halt";
+    Machine.step_fast m;
+    incr n;
+    if Machine.last_wrote_addr m >= 0 then stores := !n :: !stores;
+    if Machine.last_was_skm m then skms := !n :: !skms
+  done;
+  let final_digest = mem_digest m in
+  (* Checkpoint placement is a property of the runtime, not the ISA:
+     observe it by running the policy once on an uninterrupted scripted
+     supply. *)
+  let ckpts = ref [] in
+  (match scenario.policy with
+  | Executor.Clank _ ->
+      let m2 = scenario.fresh () in
+      let supply = Supply.scripted () in
+      ignore
+        (Executor.run ~policy:scenario.policy
+           ~on_checkpoint:(fun retired -> ckpts := retired :: !ckpts)
+           ~machine:m2 ~supply ())
+  | Executor.Always_on | Executor.Nvp _ -> ());
+  {
+    retired = !n;
+    final_digest;
+    first_skim = (match List.rev !skms with [] -> None | b :: _ -> Some b);
+    store_boundaries = Array.of_list (List.rev !stores);
+    skm_boundaries = Array.of_list (List.rev !skms);
+    checkpoint_boundaries = Array.of_list (List.rev !ckpts);
+  }
+
+let prefix_digests ?(max_steps = default_max_steps) scenario ~boundaries =
+  let count = Array.length boundaries in
+  Array.iteri
+    (fun i b ->
+      if b < 1 || (i > 0 && b <= boundaries.(i - 1)) then
+        invalid_arg "Faults.prefix_digests")
+    boundaries;
+  let m = scenario.fresh () in
+  let out = Array.make count Digest.(string "") in
+  let bi = ref 0 in
+  let n = ref 0 in
+  while !bi < count && not (Machine.halted m) do
+    if !n >= max_steps then failwith "Faults.prefix_digests: program did not halt";
+    Machine.step_fast m;
+    incr n;
+    if boundaries.(!bi) = !n then begin
+      out.(!bi) <- mem_digest m;
+      incr bi
+    end
+  done;
+  if !bi < count then invalid_arg "Faults.prefix_digests: boundary past halt";
+  out
+
+type restore_state = {
+  at_retired : int;
+  r_pc : int;
+  r_regs : int array;
+  r_flags : Wn_isa.Cond.flags;
+  r_mem_digest : Digest.t;
+}
+
+type point_result = {
+  boundary : int;
+  outcome : Executor.outcome;
+  restore : restore_state option;
+  final_digest : Digest.t;
+}
+
+let run_point ?(engine = Executor.Fast)
+    ?(off_cycles = Supply.default_off_cycles) scenario ~boundary =
+  if boundary < 1 then invalid_arg "Faults.run_point";
+  let m = scenario.fresh () in
+  let supply = Supply.scripted ~off_cycles () in
+  Machine.set_step_budget m (Some boundary);
+  let restore = ref None in
+  let on_restore _outage_index =
+    if !restore = None then
+      restore :=
+        Some
+          {
+            at_retired = Machine.instructions_retired m;
+            r_pc = Machine.pc m;
+            r_regs = Array.init Wn_isa.Reg.count (fun i -> Machine.reg m (Wn_isa.Reg.r i));
+            r_flags = Machine.flags m;
+            r_mem_digest = mem_digest m;
+          }
+  in
+  let outcome =
+    Executor.run ~policy:scenario.policy ~engine ~on_restore ~machine:m
+      ~supply ()
+  in
+  { boundary; outcome; restore = !restore; final_digest = mem_digest m }
+
+let skim_reference ?(max_steps = default_max_steps) scenario ~boundary =
+  let m = scenario.fresh () in
+  for _ = 1 to boundary do
+    Machine.step_fast m
+  done;
+  match Machine.take_skim m with
+  | None -> None
+  | Some target ->
+      (match scenario.policy with
+      | Executor.Clank _ ->
+          Machine.scrub_volatile m;
+          Machine.set_pc m target
+      | Executor.Nvp _ | Executor.Always_on -> Machine.set_pc m target);
+      let n = ref 0 in
+      while not (Machine.halted m) do
+        if !n >= max_steps then
+          failwith "Faults.skim_reference: program did not halt";
+        Machine.step_fast m;
+        incr n
+      done;
+      Some (mem_digest m)
+
+let check ~profile ~prefix_digest ~skim_ref result =
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let out = result.outcome in
+  (* The injection itself must have behaved: one outage, at the exact
+     boundary, and the run must have come back and finished. *)
+  if out.Executor.outage_count <> 1 then
+    fail "expected exactly one injected outage, saw %d" out.Executor.outage_count;
+  if not out.Executor.completed then fail "run did not complete after restore";
+  (match result.restore with
+  | None -> if out.Executor.outage_count > 0 then fail "restore state not captured"
+  | Some r ->
+      if r.at_retired <> result.boundary then
+        fail "outage struck at boundary %d, not the requested %d" r.at_retired
+          result.boundary;
+      (* (a) no torn state: NVM at restore is the continuous prefix image. *)
+      if not (Digest.equal r.r_mem_digest prefix_digest) then
+        fail "(a) NVM at restore differs from the continuous prefix image");
+  let expect_skim =
+    match profile.first_skim with
+    | Some s -> s <= result.boundary
+    | None -> false
+  in
+  if out.Executor.skimmed && not expect_skim then
+    fail "(c) run skim-committed but no skim target was latched by boundary %d"
+      result.boundary;
+  if expect_skim && not out.Executor.skimmed then
+    fail "(c) skim target was latched by boundary %d but the restore ignored it"
+      result.boundary;
+  if expect_skim && out.Executor.skimmed then begin
+    match skim_ref with
+    | Some d ->
+        if not (Digest.equal result.final_digest d) then
+          fail "(c) skim commit diverges from the anytime reference image"
+    | None ->
+        fail "(c) no reference skim image exists at boundary %d" result.boundary
+  end
+  else if out.Executor.completed
+          && not (Digest.equal result.final_digest profile.final_digest)
+  then
+    (* (b) convergence: re-execution must land on the continuous-run
+       final image bit-exactly. *)
+    fail "(b) final NVM diverges from the continuous run";
+  List.rev !violations

@@ -1,0 +1,106 @@
+(** Deterministic outage-point fault injection with a crash-consistency
+    oracle.
+
+    The trace-driven supplies exercise outages only where the energy
+    model happens to put them — a vanishingly small slice of the
+    outage-point space.  This engine instead forces an outage at a
+    *chosen instruction boundary* (boundary [k] = between the [k]'th and
+    [k+1]'th retired instruction of the continuous run), using the
+    machine step budget and a {!Wn_power.Supply.scripted} supply, and
+    then audits the restore against three oracle properties:
+
+    - (a) {b no torn state}: at the instant of restore, non-volatile
+      memory is bit-identical to the image the continuous run had at
+      that same boundary (FRAM writes are instruction-atomic; nothing
+      the runtime does across an outage may touch memory);
+    - (b) {b convergence}: if no skim point fires, re-execution reaches
+      the continuous run's final memory image bit-exactly;
+    - (c) {b anytime commit}: if a skim point fires, the early-committed
+      memory image equals an independent reference that replays the
+      paper's skim semantics (jump to the latched target at that
+      boundary — registers scrubbed first on a volatile Clank core —
+      and run to halt).
+
+    All runs are deterministic: a scenario is a thunk producing a fresh,
+    identically-loaded machine, so any number of injected runs can be
+    farmed out to domains and re-merged in boundary order. *)
+
+type scenario = {
+  fresh : unit -> Wn_machine.Machine.t;
+      (** Build a fresh machine positioned at task entry with inputs
+          loaded.  Must be pure (same machine state every call) and
+          thread-safe: injected runs call it from pool domains. *)
+  policy : Wn_runtime.Executor.policy;
+}
+
+(** Continuous-run profile: everything the planner and oracle need,
+    gathered in two instrumented passes (one raw stepping pass; for
+    Clank, one executor pass to observe checkpoint placement). *)
+type profile = {
+  retired : int;  (** instructions retired by the continuous run *)
+  final_digest : Digest.t;  (** memory image at halt *)
+  first_skim : int option;
+      (** boundary after which a skim target is latched, if any *)
+  store_boundaries : int array;  (** boundaries following a store *)
+  skm_boundaries : int array;  (** boundaries following an [Skm] *)
+  checkpoint_boundaries : int array;
+      (** retired counts at which the policy checkpointed (Clank) *)
+}
+
+val profile : ?max_steps:int -> scenario -> profile
+(** Raises [Failure] if the program does not halt within [max_steps]
+    (default one billion) instructions. *)
+
+val prefix_digests :
+  ?max_steps:int -> scenario -> boundaries:int array -> Digest.t array
+(** Memory digests of the continuous run at each boundary of the
+    strictly-ascending [boundaries] (all within [1, retired]), computed
+    in one pass. *)
+
+(** Machine state captured by the oracle at the instant restore
+    completes (the [on_restore] hook). *)
+type restore_state = {
+  at_retired : int;  (** total retired instructions when the outage struck *)
+  r_pc : int;
+  r_regs : int array;
+  r_flags : Wn_isa.Cond.flags;
+  r_mem_digest : Digest.t;
+}
+
+type point_result = {
+  boundary : int;
+  outcome : Wn_runtime.Executor.outcome;
+  restore : restore_state option;  (** [None] if no outage fired *)
+  final_digest : Digest.t;
+}
+
+val run_point :
+  ?engine:Wn_runtime.Executor.engine ->
+  ?off_cycles:int ->
+  scenario ->
+  boundary:int ->
+  point_result
+(** Run the task with exactly one forced outage at [boundary] (which
+    must be within [1, retired - 1] for the outage to strike before
+    halt).  [off_cycles] is the powered-off period served before
+    restore (default {!Wn_power.Supply.default_off_cycles}). *)
+
+val skim_reference :
+  ?max_steps:int -> scenario -> boundary:int -> Digest.t option
+(** Independent model of the paper's skim semantics at [boundary]: step
+    a fresh machine [boundary] raw instructions, read the latched skim
+    target ([None] if there is none), jump there — scrubbing the
+    register file first under Clank — and run to halt; returns the
+    final memory digest. *)
+
+val check :
+  profile:profile ->
+  prefix_digest:Digest.t ->
+  skim_ref:Digest.t option ->
+  point_result ->
+  string list
+(** Oracle verdict for one injected point: the empty list, or one
+    human-readable message per violated property.  [prefix_digest] is
+    the continuous-run digest at the point's boundary; [skim_ref] is
+    {!skim_reference} at that boundary (only consulted when a skim
+    commit is expected there). *)

@@ -109,12 +109,26 @@ let encode t =
 let field word pos width =
   Int32.to_int (Int32.shift_right_logical word pos) land ((1 lsl width) - 1)
 
+(* Decode validates every field [encode] range-checks, so the two stay
+   exact inverses: any word [decode] accepts re-encodes to the same
+   word, and no unencodable instruction can enter through the decoder
+   (subword/lane counts of 0 or 17-31, the unused memory-width and
+   shift codes). *)
 let decode word =
   let opcode = field word 26 6 in
   let rd () = Reg.r (field word 22 4) in
   let rn () = Reg.r (field word 18 4) in
   let rm () = Reg.r (field word 14 4) in
   let imm16 = field word 0 16 in
+  let bad what = Error (Printf.sprintf "invalid %s in %08lx" what word) in
+  let subword_bits k =
+    let bits = field word 9 5 in
+    if bits < 1 || bits > 16 then bad "subword bits" else k bits
+  in
+  let mem_width k =
+    let wc = field word 12 2 in
+    if wc > 2 then bad "memory width" else k (width_of_code wc)
+  in
   match opcode with
   | 0 -> Ok Nop
   | 1 -> Ok Halt
@@ -123,48 +137,48 @@ let decode word =
   | 4 -> Ok (Mov (rd (), rn ()))
   | 5 -> Ok (Alu (alu_of_code (field word 11 3), rd (), rn (), rm ()))
   | 6 -> Ok (Alu_imm (alu_of_code (field word 15 3), rd (), rn (), field word 0 12))
-  | 7 -> Ok (Shift (shift_of_code (field word 16 2), rd (), rn (), field word 0 5))
+  | 7 ->
+      let sc = field word 16 2 in
+      if sc > 2 then bad "shift operation"
+      else Ok (Shift (shift_of_code sc, rd (), rn (), field word 0 5))
   | 8 -> Ok (Mul (rd (), rn (), rm ()))
   | 9 ->
+      subword_bits @@ fun bits ->
       Ok
         (Mul_asp
-           { bits = field word 9 5; signed = field word 8 1 = 1;
+           { bits; signed = field word 8 1 = 1;
              rd = rd (); rn = rn (); shift = field word 0 5 })
-  | 10 -> Ok (Add_asv (field word 9 5, rd (), rn (), rm ()))
-  | 11 -> Ok (Sub_asv (field word 9 5, rd (), rn (), rm ()))
+  | 10 -> subword_bits @@ fun w -> Ok (Add_asv (w, rd (), rn (), rm ()))
+  | 11 -> subword_bits @@ fun w -> Ok (Sub_asv (w, rd (), rn (), rm ()))
   | 12 -> Ok (Cmp (rd (), rn ()))
   | 13 -> Ok (Cmp_imm (rd (), imm16))
   | 14 ->
+      mem_width @@ fun width ->
       Ok
         (Ldr
-           { width = width_of_code (field word 12 2);
-             signed = field word 11 1 = 1; rd = rd (); base = rn ();
+           { width; signed = field word 11 1 = 1; rd = rd (); base = rn ();
              off = field word 0 10 })
   | 15 ->
-      Ok
-        (Str
-           { width = width_of_code (field word 12 2); rs = rd ();
-             base = rn (); off = field word 0 10 })
+      mem_width @@ fun width ->
+      Ok (Str { width; rs = rd (); base = rn (); off = field word 0 10 })
   | 16 ->
+      mem_width @@ fun width ->
       Ok
         (Ldr_reg
-           { width = width_of_code (field word 12 2);
-             signed = field word 11 1 = 1; rd = rd (); base = rn ();
+           { width; signed = field word 11 1 = 1; rd = rd (); base = rn ();
              idx = rm () })
   | 17 ->
-      Ok
-        (Str_reg
-           { width = width_of_code (field word 12 2); rs = rd ();
-             base = rn (); idx = rm () })
+      mem_width @@ fun width ->
+      Ok (Str_reg { width; rs = rd (); base = rn (); idx = rm () })
   | 18 -> (
       match Cond.of_int (field word 22 4) with
       | Some c -> Ok (B (c, imm16))
-      | None -> Error (Printf.sprintf "bad condition code in %08lx" word))
+      | None -> bad "condition code")
   | 19 -> Ok (Bl imm16)
   | 20 -> Ok Bx_lr
   | 21 -> Ok (Skm imm16)
   | 22 -> Ok (Sqrt (rd (), rn ()))
-  | 23 -> Ok (Sqrt_asp { bits = field word 9 5; rd = rd (); rn = rn () })
+  | 23 -> subword_bits @@ fun bits -> Ok (Sqrt_asp { bits; rd = rd (); rn = rn () })
   | n -> Error (Printf.sprintf "unknown opcode %d" n)
 
 let encode_program prog = Array.map encode prog

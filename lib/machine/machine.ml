@@ -33,6 +33,12 @@ type t = {
   mutable retired : int;
   mutable wn_retired : int;
   mutable cycles : int;
+  (* Step budget for fault injection: -1 means unlimited; a value n >= 0
+     counts down by one per retired instruction (on both the fast and
+     the reference path) and holds at 0.  [budget_exhausted] then lets
+     an executor force an outage at an exact instruction boundary
+     without per-step overhead beyond one int compare. *)
+  mutable steps_left : int;
   code : (t -> unit) array;
   (* step_fast scratch: effects of the last instruction, encoded without
      allocation.  Addresses are -1 when the instruction made no access
@@ -419,6 +425,7 @@ let create ?(config = default_config) ~program ~mem () =
     retired = 0;
     wn_retired = 0;
     cycles = 0;
+    steps_left = -1;
     code = predecode ~zero_skip:config.zero_skip ~memo_table program;
     last_pc = -1;
     last_cycles = 0;
@@ -491,7 +498,8 @@ let step_fast t =
   t.last_skm <- false;
   (Array.unsafe_get t.code pc) t;
   t.retired <- t.retired + 1;
-  t.cycles <- t.cycles + t.last_cycles
+  t.cycles <- t.cycles + t.last_cycles;
+  if t.steps_left > 0 then t.steps_left <- t.steps_left - 1
 
 let last_pc t = t.last_pc
 let last_cycles t = t.last_cycles
@@ -642,6 +650,7 @@ let step_reference t =
   t.retired <- t.retired + 1;
   if Instr.is_wn_extension i then t.wn_retired <- t.wn_retired + 1;
   t.cycles <- t.cycles + !cycles;
+  if t.steps_left > 0 then t.steps_left <- t.steps_left - 1;
   let read, wrote, memo_hit, zero_skipped = !effects in
   { instr = i; cycles = !cycles; read; wrote; memo_hit; zero_skipped }
 
@@ -659,6 +668,17 @@ let scrub_volatile t =
   Array.fill t.regs 0 Reg.count 0;
   set_flags t Cond.initial_flags;
   t.pcv <- 0
+
+let set_step_budget t budget =
+  match budget with
+  | None -> t.steps_left <- -1
+  | Some n ->
+      if n < 0 then invalid_arg "Machine.set_step_budget";
+      t.steps_left <- n
+
+let step_budget t = if t.steps_left < 0 then None else Some t.steps_left
+
+let budget_exhausted t = t.steps_left = 0
 
 let instructions_retired (t : t) = t.retired
 let wn_instructions t = t.wn_retired

@@ -111,6 +111,25 @@ val last_zero_skipped : t -> bool
 val last_was_skm : t -> bool
 (** Whether the last instruction was [Skm] (latched a skim target). *)
 
+(** {2 Step budget — fault-injection interrupt point}
+
+    A budget of [Some n] counts down by one per retired instruction and
+    holds at zero; {!budget_exhausted} then reads true until the budget
+    is reset.  Both the fast path and the reference interpreter
+    decrement it, so an injection point composes with either engine at
+    the cost of one integer compare per step (no allocation, preserving
+    the fast path's zero-allocation guarantee).  [None] (the default)
+    means unlimited. *)
+
+val set_step_budget : t -> int option -> unit
+(** Raises [Invalid_argument] on [Some n] with [n < 0]. *)
+
+val step_budget : t -> int option
+(** Remaining budget, or [None] if unlimited. *)
+
+val budget_exhausted : t -> bool
+(** True iff a budget was set and has reached zero. *)
+
 val step_reference : t -> step_result
 (** The original direct interpreter over [int Instr.t], kept as the
     executable specification of the ISA.  Semantically interchangeable

@@ -16,6 +16,13 @@ type t = {
   mutable tick_base : int;
   mutable tick_end : int;
   mutable tick_power : float;
+  (* Scripted outages (fault injection): the supply reports a brown-out
+     the moment the clock reaches the next scripted cycle, regardless of
+     stored energy, and [wait_for_power] restores power after a fixed
+     off-period.  [forced_off] is also settable directly via [cut]. *)
+  mutable forced_off : bool;
+  mutable script : int list; (* ascending absolute cut cycles *)
+  off_cycles : int; (* off-period served for a forced outage *)
 }
 
 let default_clock_hz = 24e6
@@ -50,6 +57,9 @@ let create ?(clock_hz = default_clock_hz) ?(cycle_energy = default_cycle_energy)
       tick_base = 0;
       tick_end = 0;
       tick_power = 0.0;
+      forced_off = false;
+      script = [];
+      off_cycles = 0;
     }
   in
   refresh_tick_cache t;
@@ -71,6 +81,43 @@ let always_on () =
       tick_base = 0;
       tick_end = 0;
       tick_power = 0.0;
+      forced_off = false;
+      script = [];
+      off_cycles = 0;
+    }
+  in
+  refresh_tick_cache t;
+  t
+
+let default_off_cycles = 24_000
+
+let scripted ?(off_cycles = default_off_cycles) ?(outages = []) () =
+  if off_cycles < 0 then invalid_arg "Supply.scripted";
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then invalid_arg "Supply.scripted" else ascending rest
+    | _ -> ()
+  in
+  List.iter (fun c -> if c < 0 then invalid_arg "Supply.scripted") outages;
+  ascending outages;
+  let trace = Trace.constant ~power:1.0 ~duration_s:1.0 in
+  let t =
+    {
+      clock_hz = default_clock_hz;
+      cycle_energy = default_cycle_energy;
+      trace;
+      capacitor = Capacitor.create ();
+      infinite = true;
+      per_tick = compute_per_tick default_clock_hz;
+      cycles = 0;
+      outage_count = 0;
+      consumed = 0.0;
+      tick_base = 0;
+      tick_end = 0;
+      tick_power = 0.0;
+      forced_off = false;
+      script = outages;
+      off_cycles;
     }
   in
   refresh_tick_cache t;
@@ -80,7 +127,20 @@ let now_cycles t = t.cycles
 
 let now_s t = float_of_int t.cycles /. t.clock_hz
 
-let is_on t = t.infinite || Capacitor.is_on t.capacitor
+let is_on t =
+  (not t.forced_off) && (t.infinite || Capacitor.is_on t.capacitor)
+
+(* Force a brown-out right now, regardless of stored energy.  On a
+   capacitor-backed supply the injection empties the capacitor (the
+   physical analogue of yanking the harvester mid-burst); on an infinite
+   or scripted supply it sets [forced_off], which [wait_for_power]
+   clears after serving [off_cycles]. *)
+let cut t =
+  if is_on t then begin
+    if t.infinite then t.forced_off <- true
+    else Capacitor.set_empty t.capacitor;
+    t.outage_count <- t.outage_count + 1
+  end
 
 (* Harvest inflow over [start, start + cycles) cycles, integrated
    piecewise across trace-tick boundaries: a multi-cycle instruction
@@ -110,7 +170,19 @@ let consume t ~cycles =
   t.cycles <- finish;
   let joules = float_of_int cycles *. t.cycle_energy in
   t.consumed <- t.consumed +. joules;
-  if t.infinite then true
+  (match t.script with
+  | c :: _ when c <= finish ->
+      let rec drop = function
+        | c :: rest when c <= finish -> drop rest
+        | rest -> rest
+      in
+      t.script <- drop t.script;
+      if not t.forced_off then begin
+        t.forced_off <- true;
+        t.outage_count <- t.outage_count + 1
+      end
+  | _ -> ());
+  if t.infinite then not t.forced_off
   else begin
     let inflow =
       if start >= t.tick_base && finish <= t.tick_end then
@@ -132,6 +204,16 @@ let consume t ~cycles =
 
 let wait_for_power t =
   if is_on t then 0
+  else if t.forced_off then begin
+    (* A forced (scripted/injected) outage on an energy-unconstrained
+       supply: serve the fixed off-period, then power returns.  The
+       clock advance keeps downstream time accounting honest without
+       modelling any recharge physics. *)
+    t.cycles <- t.cycles + t.off_cycles;
+    t.forced_off <- false;
+    if not t.infinite then refresh_tick_cache t;
+    t.off_cycles
+  end
   else begin
     let start = t.cycles in
     let limit = t.cycles + int_of_float (600.0 *. t.clock_hz) in

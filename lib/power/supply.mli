@@ -33,6 +33,26 @@ val always_on : unit -> t
 (** A supply that never browns out (for functional testing and for the
     continuously-powered baseline). *)
 
+val default_off_cycles : int
+(** Off-period served by [scripted] supplies per forced outage:
+    24_000 cycles (one 1 kHz trace tick at 24 MHz). *)
+
+val scripted : ?off_cycles:int -> ?outages:int list -> unit -> t
+(** A fault-injection supply: energy-unconstrained like [always_on],
+    but it cuts power the moment the clock reaches each cycle in
+    [outages] (strictly ascending, all non-negative) — and whenever
+    [cut] is called.  After a forced outage, [wait_for_power] serves
+    exactly [off_cycles] (default {!default_off_cycles}) and power
+    returns.  Raises [Invalid_argument] on a negative [off_cycles] or
+    an unsorted/negative script. *)
+
+val cut : t -> unit
+(** Force a brown-out right now.  On a capacitor-backed supply this
+    empties the capacitor (recharge then follows the trace as for any
+    natural outage); on an [always_on]/[scripted] supply it forces the
+    off state that [wait_for_power] clears after its off-period.  No-op
+    if the supply is already off. *)
+
 val now_cycles : t -> int
 (** Wall-clock cycles elapsed, including time spent powered off. *)
 

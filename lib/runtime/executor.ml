@@ -122,7 +122,7 @@ let build_store_table program =
 
 let run ?(policy = Always_on) ?(engine = Fast)
     ?(max_wall_cycles = 20_000_000_000) ?(snapshot_every = 10_000) ?snapshot
-    ?(halt_at_skim = false) ~machine ~supply () =
+    ?(halt_at_skim = false) ?on_checkpoint ?on_restore ~machine ~supply () =
   let wall_start = Supply.now_cycles supply in
   let retired_start = Machine.instructions_retired machine in
   let active = ref 0 in
@@ -169,7 +169,10 @@ let run ?(policy = Always_on) ?(engine = Fast)
     shadow_clear st;
     st.since_ckpt_cycles <- 0;
     st.since_ckpt_retired <- 0;
-    incr checkpoint_count
+    incr checkpoint_count;
+    match on_checkpoint with
+    | Some hook -> hook (Machine.instructions_retired machine)
+    | None -> ()
   in
   (* Insert into one tracking plane, checkpointing first on overflow
      (capacity is checked before the insert, as the hardware tests the
@@ -223,7 +226,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
   let handle_outage () =
     incr outage_count;
     ignore (Supply.wait_for_power supply);
-    match clank with
+    (match clank with
     | None ->
         let restore =
           match policy with Nvp c -> c.nvp_restore_cycles | _ -> 0
@@ -249,7 +252,11 @@ let run ?(policy = Always_on) ?(engine = Fast)
         end;
         shadow_clear st;
         st.since_ckpt_cycles <- 0;
-        st.since_ckpt_retired <- 0
+        st.since_ckpt_retired <- 0);
+    (* Restore complete: the machine is in exactly the state execution
+       resumes from (skim jump taken, rollback applied).  The hook lets
+       a fault-injection oracle audit that state in place. *)
+    match on_restore with Some hook -> hook !outage_count | None -> ()
   in
   (* Everything after an instruction executes, engine-independent.  All
      effect arguments are immediates (addresses are -1 for "no such
@@ -280,6 +287,13 @@ let run ?(policy = Always_on) ?(engine = Fast)
     if !active >= !next_snapshot then begin
       take_snapshot ();
       next_snapshot := !next_snapshot + snapshot_every
+    end;
+    (* Fault injection: an exhausted step budget forces an outage at
+       this exact instruction boundary, whichever engine stepped.  The
+       budget is cleared so the re-execution after restore runs free. *)
+    if Machine.budget_exhausted machine then begin
+      Machine.set_step_budget machine None;
+      Supply.cut supply
     end
   in
   let wall_elapsed () = Supply.now_cycles supply - wall_start in

@@ -74,6 +74,8 @@ val run :
   ?snapshot_every:int ->
   ?snapshot:snapshot_hook ->
   ?halt_at_skim:bool ->
+  ?on_checkpoint:(int -> unit) ->
+  ?on_restore:(int -> unit) ->
   machine:Wn_machine.Machine.t ->
   supply:Wn_power.Supply.t ->
   unit ->
@@ -88,4 +90,14 @@ val run :
     point is latched: the skim jump is taken immediately, committing the
     earliest available output — the configuration of the paper's
     memoization, small-subword and sampling studies ("when the earliest
-    available output is taken"). *)
+    available output is taken").
+
+    Fault-injection hooks (both engines): [on_checkpoint n] fires after
+    each Clank checkpoint completes, with [n] the machine's total
+    retired-instruction count at that instant; [on_restore k] fires
+    after the [k]'th outage's restore completes — skim jump taken or
+    rollback applied — with the machine in exactly the state execution
+    resumes from.  Additionally, if the machine's step budget
+    ({!Wn_machine.Machine.set_step_budget}) reaches zero the executor
+    clears it and forces an outage ({!Wn_power.Supply.cut}) at that
+    exact instruction boundary. *)

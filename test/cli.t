@@ -1,0 +1,50 @@
+Every bad identifier or malformed flag must exit non-zero with a
+one-line diagnostic on stderr — no tracebacks, no usage dumps, no
+partial experiment output.  Cmdliner's CLI-error exit code is 124.
+
+An unknown benchmark, on both the run and inject subcommands:
+
+  $ wn run nope
+  wn: unknown benchmark "nope" (try `wn list')
+  [124]
+
+  $ wn inject nope
+  wn: unknown benchmark "nope" (try `wn list')
+  [124]
+
+An unknown experiment id names the ones it does know:
+
+  $ wn figure nope
+  wn: unknown experiment "nope"; know: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, area_power, ablation_memo, ablation_watchdog, ablation_energy, ablation_subword, ext_sqrt
+  [124]
+
+An unknown harvesting trace:
+
+  $ wn run MatAdd --trace bogus
+  wn: unknown trace "bogus" (know: rf, square, constant)
+  [124]
+
+Malformed sweep parameters.  A non-integer is rejected by the option
+parser; a nonsensical integer by the command's own validation:
+
+  $ wn inject MatAdd --points 0
+  wn: --points must be >= 1 (got 0)
+  [124]
+
+  $ wn inject MatAdd --seed=-3
+  wn: --seed must be >= 0 (got -3)
+  [124]
+
+  $ wn inject MatAdd --jobs 0
+  wn: --jobs must be >= 1 (got 0)
+  [124]
+
+  $ wn curve MatAdd --points 0
+  wn: --points must be >= 1 (got 0)
+  [124]
+
+A tiny end-to-end success case to pin the exit-zero path (2 sampled
+outage points on the smallest kernel, one system, skim off):
+
+  $ wn inject MatAdd --points 2 --system clank --skim off | head -1
+  fault sweep: MatAdd system=checkpoint-volatile build=precise bits=8

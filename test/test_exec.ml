@@ -26,6 +26,17 @@ let test_edge_shapes () =
   (* More workers than tasks: no task lost, no hang, order kept. *)
   Alcotest.(check ints) "jobs > tasks" [ 2; 3; 4 ] (Pool.map ~jobs:8 succ [ 1; 2; 3 ])
 
+(* A zero or negative pool width is a caller bug: [map] must refuse it
+   loudly (regression: jobs <= 0 used to degrade silently to the
+   sequential path). *)
+let test_map_rejects_nonpositive_jobs () =
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs succ [ 1; 2; 3 ] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "jobs=%d accepted" jobs)
+    [ 0; -1; -8 ]
+
 let test_pool_reuse () =
   let t = Pool.create ~jobs:3 () in
   Fun.protect ~finally:(fun () -> Pool.shutdown t) @@ fun () ->
@@ -116,6 +127,8 @@ let () =
         [
           Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
           Alcotest.test_case "edge shapes" `Quick test_edge_shapes;
+          Alcotest.test_case "nonpositive jobs rejected" `Quick
+            test_map_rejects_nonpositive_jobs;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "worker exception" `Quick test_worker_exception_propagates;
           Alcotest.test_case "nested map" `Quick test_nested_map;

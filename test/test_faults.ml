@@ -1,0 +1,254 @@
+(* Tests for wn.faults: forced outages at exact instruction boundaries,
+   the three-property crash-consistency oracle, the Fast/Compat lockstep
+   differential, and the suite-level sweep driver (wn.core Inject). *)
+
+open Wn_isa
+open Wn_machine
+module Executor = Wn_runtime.Executor
+module Faults = Wn_faults.Faults
+module Inject = Wn_core.Inject
+
+let r = Reg.r
+
+(* A precise task: a counted loop that stores its progress word to NVM
+   each iteration.  No skim points, so every injected outage must take
+   the (b) convergence branch of the oracle. *)
+let precise_program ?(iters = 40) () =
+  Asm.assemble_exn
+    [
+      Asm.I (Instr.Mov_imm (r 0, 0));
+      Asm.I (Instr.Mov_imm (r 2, 0));
+      Asm.Label "loop";
+      Asm.I (Instr.Alu_imm (Instr.Add, r 0, r 0, 1));
+      Asm.I (Instr.Str { width = Instr.Word; rs = r 0; base = r 2; off = 0 });
+      Asm.I (Instr.Cmp_imm (r 0, iters));
+      Asm.I (Instr.B (Cond.Lt, "loop"));
+      Asm.I Instr.Halt;
+    ]
+
+(* An anytime task: commit a coarse result, latch a skim target, then
+   refine — storing intermediate values — and commit the exact result.
+   Outages after the [Skm] must take the (c) anytime-commit branch. *)
+let anytime_program ?(refine = 25) () =
+  Asm.assemble_exn
+    [
+      Asm.I (Instr.Mov_imm (r 2, 0));
+      Asm.I (Instr.Mov_imm (r 0, 1));
+      Asm.I (Instr.Str { width = Instr.Word; rs = r 0; base = r 2; off = 0 });
+      Asm.I (Instr.Skm "end");
+      Asm.I (Instr.Mov_imm (r 1, 0));
+      Asm.Label "refine";
+      Asm.I (Instr.Mul (r 3, r 1, r 1));
+      Asm.I (Instr.Str { width = Instr.Word; rs = r 3; base = r 2; off = 4 });
+      Asm.I (Instr.Alu_imm (Instr.Add, r 1, r 1, 1));
+      Asm.I (Instr.Cmp_imm (r 1, refine));
+      Asm.I (Instr.B (Cond.Lt, "refine"));
+      Asm.I (Instr.Mov_imm (r 0, 2));
+      Asm.I (Instr.Str { width = Instr.Word; rs = r 0; base = r 2; off = 0 });
+      Asm.Label "end";
+      Asm.I Instr.Halt;
+    ]
+
+let scenario ?(policy = Executor.Clank Executor.default_clank) program =
+  {
+    Faults.fresh =
+      (fun () ->
+        let mem = Wn_mem.Memory.create ~size:256 in
+        Machine.create ~program ~mem ());
+    policy;
+  }
+
+(* ------------------------- step budget ----------------------------- *)
+
+let test_step_budget () =
+  let m = (scenario (precise_program ())).Faults.fresh () in
+  Alcotest.(check (option int)) "unlimited by default" None (Machine.step_budget m);
+  Machine.set_step_budget m (Some 3);
+  Alcotest.(check bool) "not yet exhausted" false (Machine.budget_exhausted m);
+  Machine.step_fast m;
+  Machine.step_fast m;
+  Alcotest.(check (option int)) "counts down" (Some 1) (Machine.step_budget m);
+  Machine.step_fast m;
+  Alcotest.(check bool) "exhausted after 3 steps" true (Machine.budget_exhausted m);
+  (* The budget gates nothing by itself and holds at zero. *)
+  Machine.step_fast m;
+  Alcotest.(check (option int)) "holds at zero" (Some 0) (Machine.step_budget m);
+  Machine.set_step_budget m None;
+  Alcotest.(check bool) "cleared" false (Machine.budget_exhausted m);
+  Alcotest.check_raises "negative budget" (Invalid_argument "Machine.set_step_budget")
+    (fun () -> Machine.set_step_budget m (Some (-1)))
+
+(* --------------------------- profiling ----------------------------- *)
+
+let test_profile_shapes () =
+  let p = Faults.profile (scenario (precise_program ())) in
+  (* 2 setup + 40 iterations x 4 + halt *)
+  Alcotest.(check int) "retired" 163 p.Faults.retired;
+  Alcotest.(check (option int)) "no skim" None p.Faults.first_skim;
+  Alcotest.(check int) "one store per iteration" 40
+    (Array.length p.Faults.store_boundaries);
+  let a = Faults.profile (scenario (anytime_program ())) in
+  Alcotest.(check (option int)) "skim latched at boundary 4" (Some 4)
+    a.Faults.first_skim;
+  Alcotest.(check int) "skm boundary recorded" 4 a.Faults.skm_boundaries.(0);
+  (* The tiny program finishes inside the default watchdog period; with
+     a short one, Clank's continuous-run checkpoints must be observed. *)
+  let tight =
+    Executor.Clank { Executor.default_clank with watchdog_period = 50 }
+  in
+  let w = Faults.profile (scenario ~policy:tight (anytime_program ())) in
+  if Array.length w.Faults.checkpoint_boundaries = 0 then
+    Alcotest.fail "Clank must checkpoint on the continuous profile run"
+
+(* ------------------- exhaustive oracle sweeps ---------------------- *)
+
+let exhaustive_sweep name sc =
+  let p = Faults.profile sc in
+  let boundaries = Array.init (p.Faults.retired - 1) (fun i -> i + 1) in
+  let prefixes = Faults.prefix_digests sc ~boundaries in
+  let skims = ref 0 in
+  Array.iteri
+    (fun i boundary ->
+      let result = Faults.run_point sc ~boundary in
+      if result.Faults.outcome.Executor.skimmed then incr skims;
+      let skim_ref = Faults.skim_reference sc ~boundary in
+      match Faults.check ~profile:p ~prefix_digest:prefixes.(i) ~skim_ref result with
+      | [] -> ()
+      | v :: _ -> Alcotest.failf "%s, boundary %d: %s" name boundary v)
+    boundaries;
+  (p, !skims)
+
+let test_exhaustive_precise () =
+  List.iter
+    (fun (pname, policy) ->
+      let sc = scenario ~policy (precise_program ()) in
+      let _, skims = exhaustive_sweep ("precise/" ^ pname) sc in
+      Alcotest.(check int) (pname ^ ": no skim commits") 0 skims)
+    [
+      ("clank", Executor.Clank Executor.default_clank);
+      ("nvp", Executor.Nvp Executor.default_nvp);
+    ]
+
+let test_exhaustive_anytime () =
+  List.iter
+    (fun (pname, policy) ->
+      let sc = scenario ~policy (anytime_program ()) in
+      let p, skims = exhaustive_sweep ("anytime/" ^ pname) sc in
+      let first_skim = Option.get p.Faults.first_skim in
+      (* Every boundary at or past the latch must commit via skim. *)
+      Alcotest.(check int)
+        (pname ^ ": skim commits")
+        (p.Faults.retired - 1 - (first_skim - 1))
+        skims)
+    [
+      ("clank", Executor.Clank Executor.default_clank);
+      ("nvp", Executor.Nvp Executor.default_nvp);
+    ]
+
+(* The oracle itself must not be vacuous: feed it deliberately wrong
+   references and require it to object. *)
+let test_oracle_not_vacuous () =
+  let sc = scenario (anytime_program ()) in
+  let p = Faults.profile sc in
+  let boundary = Option.get p.Faults.first_skim + 2 in
+  let prefixes = Faults.prefix_digests sc ~boundaries:[| boundary |] in
+  let result = Faults.run_point sc ~boundary in
+  let bogus = Digest.string "not the prefix image" in
+  (match
+     Faults.check ~profile:p ~prefix_digest:bogus
+       ~skim_ref:(Faults.skim_reference sc ~boundary) result
+   with
+  | [] -> Alcotest.fail "oracle accepted a wrong prefix digest"
+  | v -> Alcotest.(check bool) "flags (a)" true
+           (List.exists (fun s -> String.length s >= 3 && String.sub s 0 3 = "(a)") v));
+  (match
+     Faults.check ~profile:p ~prefix_digest:prefixes.(0) ~skim_ref:(Some bogus)
+       result
+   with
+  | [] -> Alcotest.fail "oracle accepted a wrong skim reference"
+  | v -> Alcotest.(check bool) "flags (c)" true
+           (List.exists (fun s -> String.length s >= 3 && String.sub s 0 3 = "(c)") v));
+  Alcotest.check_raises "boundary 0 rejected" (Invalid_argument "Faults.run_point")
+    (fun () -> ignore (Faults.run_point sc ~boundary:0))
+
+(* ------------- Fast/Compat lockstep differential (satellite) ------- *)
+
+let test_lockstep_differential () =
+  List.iter
+    (fun (pname, policy, program) ->
+      let sc = scenario ~policy program in
+      let p = Faults.profile sc in
+      for boundary = 1 to p.Faults.retired - 1 do
+        let fast = Faults.run_point ~engine:Executor.Fast sc ~boundary in
+        let compat = Faults.run_point ~engine:Executor.Compat sc ~boundary in
+        if fast.Faults.restore <> compat.Faults.restore then
+          Alcotest.failf "%s, boundary %d: post-restore state diverges" pname
+            boundary;
+        if not (Digest.equal fast.Faults.final_digest compat.Faults.final_digest)
+        then
+          Alcotest.failf "%s, boundary %d: final memory diverges" pname boundary;
+        if fast.Faults.outcome <> compat.Faults.outcome then
+          Alcotest.failf "%s, boundary %d: outcomes diverge" pname boundary
+      done)
+    [
+      ("clank/anytime", Executor.Clank Executor.default_clank, anytime_program ());
+      ("nvp/anytime", Executor.Nvp Executor.default_nvp, anytime_program ());
+      ("clank/precise", Executor.Clank Executor.default_clank, precise_program ());
+    ]
+
+(* ---------------------- suite-level sweeps ------------------------- *)
+
+let test_sampled_matadd_sweep () =
+  let w = Wn_workloads.Suite.find Wn_workloads.Workload.Small "MatAdd" in
+  let config = { Inject.default_config with differential = true } in
+  let report = Inject.sweep ~jobs:1 ~mode:(Inject.Sampled 40) ~config w in
+  Alcotest.(check (list (pair int string))) "oracle clean" []
+    report.Inject.violations;
+  if report.Inject.points < 40 then
+    Alcotest.failf "sampler produced only %d points" report.Inject.points;
+  if report.Inject.skim_commits = 0 then
+    Alcotest.fail "anytime MatAdd sweep never hit a skim commit";
+  (* Bit-identical across jobs values, including the rendered report. *)
+  let render rep = Format.asprintf "%a" Inject.pp rep in
+  let again = Inject.sweep ~jobs:2 ~mode:(Inject.Sampled 40) ~config w in
+  Alcotest.(check string) "jobs=2 report identical" (render report) (render again);
+  if report <> again then Alcotest.fail "jobs=2 report record diverged"
+
+let test_sampler_determinism () =
+  let w = Wn_workloads.Suite.find Wn_workloads.Workload.Small "MatAdd" in
+  let config = { Inject.default_config with system = Wn_core.Intermittent.Nvp } in
+  let a = Inject.sweep ~jobs:1 ~mode:(Inject.Sampled 12) ~config w in
+  let b = Inject.sweep ~jobs:1 ~mode:(Inject.Sampled 12) ~config w in
+  if a <> b then Alcotest.fail "same seed must give the same sweep";
+  let c =
+    Inject.sweep ~jobs:1 ~mode:(Inject.Sampled 12)
+      ~config:{ config with sample_seed = config.Inject.sample_seed + 1 } w
+  in
+  if a.Inject.points = c.Inject.points && a = { c with Inject.config = a.Inject.config }
+  then Alcotest.fail "different seed should move the sampled boundaries"
+
+let () =
+  Alcotest.run "wn.faults"
+    [
+      ( "mechanism",
+        [
+          Alcotest.test_case "step budget" `Quick test_step_budget;
+          Alcotest.test_case "profile shapes" `Quick test_profile_shapes;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "exhaustive precise" `Quick test_exhaustive_precise;
+          Alcotest.test_case "exhaustive anytime" `Quick test_exhaustive_anytime;
+          Alcotest.test_case "not vacuous" `Quick test_oracle_not_vacuous;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fast vs compat lockstep" `Quick
+            test_lockstep_differential;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "sampled MatAdd sweep" `Slow test_sampled_matadd_sweep;
+          Alcotest.test_case "sampler determinism" `Slow test_sampler_determinism;
+        ] );
+    ]

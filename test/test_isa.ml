@@ -185,6 +185,148 @@ let prop_codec_roundtrip =
       | Ok i' -> i = i'
       | Error _ -> false)
 
+(* The decoder-direction property: any 32-bit word the decoder accepts
+   must yield an instruction the encoder accepts, and the pair must be
+   a fixed point from there on.  Words with a valid opcode but junk in
+   the operand fields (subword counts of 0 or 17-31, the unused memory
+   width and shift codes) used to decode into instructions [encode]
+   then rejected with [Invalid_argument]. *)
+let gen_word : int32 QCheck.Gen.t =
+  let open QCheck.Gen in
+  let fully_random = map Int32.of_int (int_bound 0xFFFF_FFFF) in
+  (* Bias half the words toward in-range opcodes so operand-field
+     validation actually gets exercised. *)
+  let valid_opcode =
+    map2
+      (fun op low ->
+        Int32.logor (Int32.shift_left (Int32.of_int op) 26) (Int32.of_int low))
+      (int_bound 23) (int_bound 0x03FF_FFFF)
+  in
+  oneof [ fully_random; valid_opcode ]
+
+let prop_decode_accepts_only_encodable =
+  QCheck.Test.make ~count:20_000 ~name:"decode accepts only encodable words"
+    (QCheck.make gen_word) (fun w ->
+      match Encoding.decode w with
+      | Error _ -> true
+      | Ok i -> (
+          match Encoding.encode i with
+          | exception Invalid_argument _ -> false
+          | w' -> Encoding.decode w' = Ok i))
+
+(* Regression pins for the decoder fields that used to pass through
+   unvalidated (each of these words previously decoded [Ok] into an
+   instruction [encode] raised on). *)
+let test_decode_validates_fields () =
+  let word ?(low = 0) op = Int32.logor (Int32.shift_left (Int32.of_int op) 26)
+      (Int32.of_int low)
+  in
+  let expect_error name w =
+    match Encoding.decode w with
+    | Error _ -> ()
+    | Ok i ->
+        Alcotest.failf "%s: %08lx decoded as %a" name w Instr.pp_resolved i
+  in
+  expect_error "mul_asp bits=0" (word 9);
+  expect_error "mul_asp bits=17" (word 9 ~low:(17 lsl 9));
+  expect_error "add_asv lanes=0" (word 10);
+  expect_error "add_asv lanes=31" (word 10 ~low:(31 lsl 9));
+  expect_error "sub_asv lanes=0" (word 11);
+  expect_error "sqrt_asp bits=0" (word 23);
+  expect_error "sqrt_asp bits=31" (word 23 ~low:(31 lsl 9));
+  expect_error "shift code 3" (word 7 ~low:(3 lsl 16));
+  expect_error "ldr width 3" (word 14 ~low:(3 lsl 12));
+  expect_error "str width 3" (word 15 ~low:(3 lsl 12));
+  expect_error "ldr_reg width 3" (word 16 ~low:(3 lsl 12));
+  expect_error "str_reg width 3" (word 17 ~low:(3 lsl 12));
+  (* Boundary values stay accepted. *)
+  List.iter
+    (fun i ->
+      match Encoding.decode (Encoding.encode i) with
+      | Ok i' when i = i' -> ()
+      | _ -> Alcotest.failf "boundary form rejected: %a" Instr.pp_resolved i)
+    [
+      Instr.Mul_asp { bits = 1; signed = true; rd = r 0; rn = r 1; shift = 31 };
+      Instr.Mul_asp { bits = 16; signed = false; rd = r 15; rn = r 0; shift = 0 };
+      Instr.Add_asv (1, r 0, r 1, r 2);
+      Instr.Sub_asv (16, r 0, r 1, r 2);
+      Instr.Sqrt_asp { bits = 1; rd = r 0; rn = r 1 };
+      Instr.Sqrt_asp { bits = 16; rd = r 0; rn = r 1 };
+    ]
+
+(* The WN-32 codec has absolute (unsigned) branch targets and unsigned
+   immediates: the encoder must reject negatives loudly rather than
+   silently wrap them into a different instruction. *)
+let test_encode_rejects_negative () =
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: negative value encoded silently" name
+  in
+  raises "imm12" (fun () ->
+      Encoding.encode (Instr.Alu_imm (Instr.Add, r 0, r 1, -1)));
+  raises "imm16" (fun () -> Encoding.encode (Instr.Mov_imm (r 0, -2)));
+  raises "cmp imm" (fun () -> Encoding.encode (Instr.Cmp_imm (r 0, -1)));
+  raises "branch target" (fun () -> Encoding.encode (Instr.B (Cond.Al, -5)));
+  raises "skim target" (fun () -> Encoding.encode (Instr.Skm (-1)));
+  raises "load offset" (fun () ->
+      Encoding.encode
+        (Instr.Ldr
+           { width = Instr.Word; signed = false; rd = r 0; base = r 1; off = -4 }))
+
+(* Assembler round trip over random programs: resolve every control
+   target to a label, assemble, and require the resolved program to
+   equal the original — then push it through the binary codec too. *)
+let relabel (i : int Instr.t) ~n : string Instr.t * int Instr.t =
+  let clamp t = t mod n in
+  let lbl t = Printf.sprintf "L%d" (clamp t) in
+  match i with
+  | Instr.B (c, t) -> (Instr.B (c, lbl t), Instr.B (c, clamp t))
+  | Instr.Bl t -> (Instr.Bl (lbl t), Instr.Bl (clamp t))
+  | Instr.Skm t -> (Instr.Skm (lbl t), Instr.Skm (clamp t))
+  | Instr.Nop -> (Instr.Nop, Instr.Nop)
+  | Instr.Halt -> (Instr.Halt, Instr.Halt)
+  | Instr.Bx_lr -> (Instr.Bx_lr, Instr.Bx_lr)
+  | Instr.Mov_imm (a, b) -> (Instr.Mov_imm (a, b), i)
+  | Instr.Movt (a, b) -> (Instr.Movt (a, b), i)
+  | Instr.Mov (a, b) -> (Instr.Mov (a, b), i)
+  | Instr.Alu (o, a, b, c) -> (Instr.Alu (o, a, b, c), i)
+  | Instr.Alu_imm (o, a, b, c) -> (Instr.Alu_imm (o, a, b, c), i)
+  | Instr.Shift (o, a, b, c) -> (Instr.Shift (o, a, b, c), i)
+  | Instr.Mul (a, b, c) -> (Instr.Mul (a, b, c), i)
+  | Instr.Mul_asp p -> (Instr.Mul_asp p, i)
+  | Instr.Add_asv (w, a, b, c) -> (Instr.Add_asv (w, a, b, c), i)
+  | Instr.Sub_asv (w, a, b, c) -> (Instr.Sub_asv (w, a, b, c), i)
+  | Instr.Sqrt (a, b) -> (Instr.Sqrt (a, b), i)
+  | Instr.Sqrt_asp p -> (Instr.Sqrt_asp p, i)
+  | Instr.Cmp (a, b) -> (Instr.Cmp (a, b), i)
+  | Instr.Cmp_imm (a, b) -> (Instr.Cmp_imm (a, b), i)
+  | Instr.Ldr p -> (Instr.Ldr p, i)
+  | Instr.Str p -> (Instr.Str p, i)
+  | Instr.Ldr_reg p -> (Instr.Ldr_reg p, i)
+  | Instr.Str_reg p -> (Instr.Str_reg p, i)
+
+let prop_assemble_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"assemble/disassemble round-trips"
+    QCheck.(make Gen.(list_size (int_range 1 40) gen_instr))
+    (fun instrs ->
+      let n = List.length instrs in
+      let labeled, expected =
+        List.split (List.map (relabel ~n) instrs)
+      in
+      let items =
+        List.concat
+          (List.mapi
+             (fun k i -> [ Asm.Label (Printf.sprintf "L%d" k); Asm.I i ])
+             labeled)
+      in
+      match Asm.assemble items with
+      | Error _ -> false
+      | Ok resolved ->
+          resolved = Array.of_list expected
+          && Encoding.decode_program (Encoding.encode_program resolved)
+             = Ok resolved)
+
 (* ---------------- Asm ---------------- *)
 
 let test_assemble_labels () =
@@ -271,8 +413,14 @@ let () =
           Alcotest.test_case "range checks" `Quick test_encode_rejects_out_of_range;
           Alcotest.test_case "garbage rejected" `Quick test_decode_rejects_garbage;
           Alcotest.test_case "program round trip" `Quick test_program_roundtrip;
+          Alcotest.test_case "decode validates fields" `Quick
+            test_decode_validates_fields;
+          Alcotest.test_case "negative immediates rejected" `Quick
+            test_encode_rejects_negative;
           QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_decode_accepts_only_encodable;
         ] );
+      ("asm fuzz", [ QCheck_alcotest.to_alcotest prop_assemble_roundtrip ]);
       ( "asm",
         [
           Alcotest.test_case "labels" `Quick test_assemble_labels;

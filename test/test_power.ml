@@ -67,6 +67,58 @@ let test_capacitor_bad_config () =
   Alcotest.check_raises "v_off above v_on" (Invalid_argument "Capacitor.create")
     (fun () -> ignore (Capacitor.create ~v_on:1.0 ~v_off:2.0 ()))
 
+(* Property: under any interleaving of harvest and drain, the stored
+   energy clamps at full charge, and the on/off latch obeys the
+   hysteresis band — it never reads on below V_off, turns on only at or
+   above V_on, and turns off only below V_off. *)
+let test_capacitor_invariants_random () =
+  let rng = Wn_util.Rng.create 42 in
+  let c = Capacitor.create () in
+  let full = Capacitor.energy c in
+  let eps = 1e-12 in
+  for step = 1 to 20_000 do
+    let was_on = Capacitor.is_on c in
+    let amount = Wn_util.Rng.float rng 4e-6 in
+    if Wn_util.Rng.bool rng then Capacitor.harvest c amount
+    else Capacitor.drain c amount;
+    let v = Capacitor.voltage c in
+    if Capacitor.energy c > full +. eps then
+      Alcotest.failf "step %d: stored energy above full charge" step;
+    if Capacitor.is_on c && v < 1.8 -. 1e-9 then
+      Alcotest.failf "step %d: on at %.4f V, below V_off" step v;
+    if (not was_on) && Capacitor.is_on c && v < 2.3 -. 1e-9 then
+      Alcotest.failf "step %d: turned on at %.4f V, below V_on" step v;
+    if was_on && (not (Capacitor.is_on c)) && v >= 1.8 +. 1e-9 then
+      Alcotest.failf "step %d: turned off at %.4f V, above V_off" step v
+  done
+
+(* The same hysteresis property driven through the supply's tick-cached
+   consume / wait_for_power paths: whenever [wait_for_power] reports
+   power back, the capacitor must actually have reached V_on (not just
+   V_off), and consume's verdict must agree with the capacitor latch. *)
+let test_supply_hysteresis_under_tick_cache () =
+  let rng = Wn_util.Rng.create 7 in
+  let trace = Trace.square ~on_ms:3 ~off_ms:7 ~power:2.5e-3 ~duration_s:1.0 in
+  let cap = Capacitor.create () in
+  let supply = Supply.create ~trace ~capacitor:cap () in
+  for step = 1 to 5_000 do
+    (* Cycle bursts from 1 to ~3000 exercise both the within-tick
+       multiply-add path and the piecewise tick-spanning path. *)
+    let on = Supply.consume supply ~cycles:(1 + Wn_util.Rng.int rng 3_000) in
+    if on <> Capacitor.is_on cap then
+      Alcotest.failf "step %d: consume verdict disagrees with the latch" step;
+    if on && Capacitor.voltage cap < 1.8 -. 1e-9 then
+      Alcotest.failf "step %d: on below V_off" step;
+    if not on then begin
+      ignore (Supply.wait_for_power supply);
+      if not (Supply.is_on supply) then
+        Alcotest.failf "step %d: wait_for_power returned while off" step;
+      if Capacitor.voltage cap < 2.3 -. 1e-9 then
+        Alcotest.failf "step %d: wait_for_power turned on at %.4f V, below V_on"
+          step (Capacitor.voltage cap)
+    end
+  done
+
 let test_supply_accounting () =
   let s = Supply.always_on () in
   Alcotest.(check bool) "on" true (Supply.is_on s);
@@ -175,6 +227,43 @@ let test_wait_for_power_mid_tick () =
   Alcotest.(check (float 1e-12)) "mid-tick partial credit" !expect
     (Capacitor.energy cap)
 
+let test_supply_scripted () =
+  let s = Supply.scripted ~off_cycles:1_000 ~outages:[ 500; 2_000 ] () in
+  Alcotest.(check bool) "on at start" true (Supply.is_on s);
+  Alcotest.(check bool) "runs to 499" true (Supply.consume s ~cycles:499);
+  Alcotest.(check bool) "cut at 500" false (Supply.consume s ~cycles:1);
+  Alcotest.(check int) "one outage" 1 (Supply.outages s);
+  Alcotest.(check int) "off period is exact" 1_000 (Supply.wait_for_power s);
+  Alcotest.(check bool) "back on" true (Supply.is_on s);
+  Alcotest.(check int) "clock accounts the off time" 1_500 (Supply.now_cycles s);
+  (* The second scripted cut fires the moment the clock passes it. *)
+  Alcotest.(check bool) "cut at 2000" false (Supply.consume s ~cycles:600);
+  ignore (Supply.wait_for_power s);
+  (* An explicit cut behaves like a scripted one. *)
+  Supply.cut s;
+  Alcotest.(check bool) "manual cut" false (Supply.is_on s);
+  Alcotest.(check int) "three outages" 3 (Supply.outages s);
+  Supply.cut s;
+  Alcotest.(check int) "cut while off is a no-op" 3 (Supply.outages s);
+  ignore (Supply.wait_for_power s);
+  Alcotest.(check bool) "recovers" true (Supply.is_on s);
+  Alcotest.check_raises "unsorted script" (Invalid_argument "Supply.scripted")
+    (fun () -> ignore (Supply.scripted ~outages:[ 10; 5 ] ()))
+
+let test_supply_cut_capacitor_backed () =
+  let trace = Trace.square ~on_ms:5 ~off_ms:5 ~power:2e-3 ~duration_s:1.0 in
+  let cap = Capacitor.create () in
+  let s = Supply.create ~trace ~capacitor:cap () in
+  Alcotest.(check bool) "on" true (Supply.is_on s);
+  Supply.cut s;
+  Alcotest.(check bool) "off after cut" false (Supply.is_on s);
+  Alcotest.(check int) "outage counted" 1 (Supply.outages s);
+  ignore (Supply.wait_for_power s);
+  Alcotest.(check bool) "recharges on the trace" true (Supply.is_on s);
+  (* Recharge honoured hysteresis: back above V_on, not just V_off. *)
+  if Capacitor.voltage cap < 2.3 -. 1e-9 then
+    Alcotest.fail "recovered below V_on"
+
 let test_burst_length_calibration () =
   (* The paper's regime: a full charge lasts of the order of a
      millisecond at 24 MHz (tens of thousands of cycles). *)
@@ -202,6 +291,8 @@ let () =
           Alcotest.test_case "hysteresis" `Quick test_capacitor_hysteresis;
           Alcotest.test_case "energy" `Quick test_capacitor_energy;
           Alcotest.test_case "bad config" `Quick test_capacitor_bad_config;
+          Alcotest.test_case "random-walk invariants" `Quick
+            test_capacitor_invariants_random;
         ] );
       ( "supply",
         [
@@ -210,6 +301,11 @@ let () =
           Alcotest.test_case "starved" `Quick test_supply_starved;
           Alcotest.test_case "piecewise harvest" `Quick test_supply_piecewise_harvest;
           Alcotest.test_case "mid-tick wait_for_power" `Quick test_wait_for_power_mid_tick;
+          Alcotest.test_case "hysteresis under tick cache" `Quick
+            test_supply_hysteresis_under_tick_cache;
+          Alcotest.test_case "scripted outages" `Quick test_supply_scripted;
+          Alcotest.test_case "cut on capacitor supply" `Quick
+            test_supply_cut_capacitor_backed;
           Alcotest.test_case "burst calibration" `Quick test_burst_length_calibration;
         ] );
     ]
