@@ -1,0 +1,158 @@
+(* Wall-time benchmark for the keyframe snapshot engine behind
+   fault-injection sweeps (wn.core Inject / wn.faults).
+
+   Runs the same outage sweep twice — every point replayed from
+   instruction 0, then every point resumed from the nearest keyframe —
+   verifies the two reports are byte-identical, and persists the wall
+   times (plus the derived speedup and the keyframe store's resident
+   size) to BENCH_inject.json in the same wn-bench/1 shape as
+   BENCH_machine.json, so successive commits leave a comparable
+   trajectory.
+
+   Usage:
+     dune exec bench/inject_bench.exe                    # exhaustive MatAdd
+     dune exec bench/inject_bench.exe -- --points 500    # sampled sweep
+     dune exec bench/inject_bench.exe -- --jobs 8
+     dune exec bench/inject_bench.exe -- --keyframe-interval 1024
+     dune exec bench/inject_bench.exe -- --k-sweep 512,2048,8192
+     dune exec bench/inject_bench.exe -- --bench-json F  # where to persist *)
+
+open Wn_workloads
+
+let usage () =
+  prerr_endline
+    "usage: inject_bench.exe [--bench NAME] [--points N] [--jobs N] \
+     [--keyframe-interval K] [--k-sweep K1,K2,...] [--bench-json PATH]";
+  exit 2
+
+let parse_args () =
+  let bench = ref "MatAdd" in
+  let points = ref 0 (* 0 = exhaustive *) in
+  let jobs = ref (Wn_exec.Pool.default_jobs ()) in
+  let ks = ref [ Wn_faults.Faults.default_keyframe_interval ] in
+  let bench_json = ref "BENCH_inject.json" in
+  let int_arg flag n ~min =
+    match int_of_string_opt n with
+    | Some v when v >= min -> v
+    | _ ->
+        Printf.eprintf "%s needs an integer >= %d, got %S\n" flag min n;
+        usage ()
+  in
+  let rec go = function
+    | [] -> ()
+    | "--bench" :: name :: rest ->
+        bench := name;
+        go rest
+    | "--points" :: n :: rest ->
+        points := int_arg "--points" n ~min:1;
+        go rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_arg "--jobs" n ~min:1;
+        go rest
+    | "--keyframe-interval" :: n :: rest ->
+        ks := [ int_arg "--keyframe-interval" n ~min:1 ];
+        go rest
+    | "--k-sweep" :: list :: rest ->
+        ks :=
+          List.map
+            (fun n -> int_arg "--k-sweep" n ~min:1)
+            (String.split_on_char ',' list);
+        go rest
+    | "--bench-json" :: path :: rest ->
+        bench_json := path;
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!bench, !points, !jobs, !ks, !bench_json)
+
+(* Same JSON shape as bench/main.ml: name -> float, no escapes needed. *)
+let write_bench_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"wn-bench/1\",\n";
+  Printf.fprintf oc "  \"unit\": \"s/sweep\",\n";
+  Printf.fprintf oc "  \"results\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "%s\n    %S: %.3f" (if i = 0 then "" else ",") name v)
+    rows;
+  Printf.fprintf oc "\n  }\n}\n";
+  close_out oc
+
+(* The keyframe store's resident size, measured on a survey identical
+   to the one Inject.sweep takes (same build, inputs and policy). *)
+let store_mib ~config ~interval w =
+  let cfg = { Workload.bits = config.Wn_core.Inject.bits; provisioned = true } in
+  let b = Wn_core.Runner.build ~precise:(not config.Wn_core.Inject.skim) w cfg in
+  let inputs =
+    w.Workload.fresh_inputs (Wn_util.Rng.create config.Wn_core.Inject.input_seed)
+  in
+  let scenario =
+    {
+      Wn_faults.Faults.fresh =
+        (fun () ->
+          let m = Wn_core.Runner.machine b in
+          Wn_core.Runner.load_sample b m inputs;
+          m);
+      policy = Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank;
+    }
+  in
+  let s = Wn_faults.Faults.survey ~keyframe_interval:interval scenario in
+  match s.Wn_faults.Faults.sv_keyframes with
+  | None -> 0.0
+  | Some kfs ->
+      float_of_int (Obj.reachable_words (Obj.repr kfs) * (Sys.word_size / 8))
+      /. (1024.0 *. 1024.0)
+
+let () =
+  let bench, points, jobs, ks, bench_json = parse_args () in
+  let w =
+    match Suite.find_opt Workload.Small bench with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "unknown benchmark %S\n" bench;
+        usage ()
+  in
+  let mode =
+    if points = 0 then Wn_core.Inject.Exhaustive else Wn_core.Inject.Sampled points
+  in
+  let tag = if points = 0 then "exhaustive" else Printf.sprintf "sampled%d" points
+  in
+  let render r = Format.asprintf "%a" Wn_core.Inject.pp r in
+  let timed config =
+    let t0 = Unix.gettimeofday () in
+    let report = Wn_core.Inject.sweep ~jobs ~mode ~config w in
+    (Unix.gettimeofday () -. t0, report)
+  in
+  let base = { Wn_core.Inject.default_config with keyframe_interval = 0 } in
+  let t_off, r_off = timed base in
+  Printf.eprintf "[%s %s: %.2fs from scratch, %d points, %d jobs]\n%!" bench tag
+    t_off r_off.Wn_core.Inject.points jobs;
+  if r_off.Wn_core.Inject.violations <> [] then begin
+    prerr_endline (render r_off);
+    exit 1
+  end;
+  let rows = ref [ (Printf.sprintf "inject:%s_%s_scratch" bench tag, t_off) ] in
+  List.iter
+    (fun k ->
+      let t_on, r_on =
+        timed { base with Wn_core.Inject.keyframe_interval = k }
+      in
+      (* Keyframes are a pure replay-cost knob: any report difference is
+         a correctness bug, so fail loudly rather than record a time. *)
+      if render r_on <> render r_off then begin
+        Printf.eprintf "keyframed sweep (K=%d) diverged from scratch!\n" k;
+        exit 1
+      end;
+      let mib = store_mib ~config:base ~interval:k w in
+      Printf.eprintf "[%s %s: %.2fs with K=%d (%.1fx, store %.1f MiB)]\n%!"
+        bench tag t_on k (t_off /. t_on) mib;
+      rows :=
+        (Printf.sprintf "inject:%s_%s_k%d_store_mib" bench tag k, mib)
+        :: (Printf.sprintf "inject:%s_%s_k%d_speedup_x" bench tag k, t_off /. t_on)
+        :: (Printf.sprintf "inject:%s_%s_k%d" bench tag k, t_on)
+        :: !rows)
+    ks;
+  write_bench_json bench_json (List.rev !rows);
+  Printf.eprintf "[inject bench written to %s]\n%!" bench_json

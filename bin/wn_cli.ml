@@ -340,11 +340,26 @@ let inject_cmd =
             "Also run every point under the Compat engine and require \
              bit-identical restore state and outcome.")
   in
-  let run bench scale bits points seed exhaustive system skim differential jobs
-      =
+  let keyframe_arg =
+    Arg.(
+      value
+      & opt int Wn_faults.Faults.default_keyframe_interval
+      & info [ "keyframe-interval" ] ~docv:"K"
+          ~doc:
+            "Snapshot the continuous run every $(docv) retired \
+             instructions and resume injected points from the nearest \
+             snapshot instead of replaying the whole prefix.  0 \
+             disables keyframes.  Reports are byte-identical for every \
+             value.")
+  in
+  let run bench scale bits points seed exhaustive system skim differential
+      keyframe_interval jobs =
     let* jobs = require_positive "jobs" jobs in
     let* points = require_positive "points" points in
     let* seed = require_non_negative "seed" seed in
+    let* keyframe_interval =
+      require_non_negative "keyframe-interval" keyframe_interval
+    in
     match find_bench scale bench with
     | Error e -> Error e
     | Ok w ->
@@ -378,6 +393,7 @@ let inject_cmd =
                     bits;
                     sample_seed = seed;
                     differential;
+                    keyframe_interval;
                   }
                 in
                 let report = Wn_core.Inject.sweep ~jobs ~mode ~config w in
@@ -403,7 +419,7 @@ let inject_cmd =
       term_result
         (const run $ bench_arg $ scale_arg $ bits_arg $ points_arg
        $ inject_seed_arg $ exhaustive_arg $ inj_system_arg $ inj_skim_arg
-       $ differential_arg $ jobs_arg))
+       $ differential_arg $ keyframe_arg $ jobs_arg))
 
 (* ---------------- wn disasm / wn source ---------------- *)
 

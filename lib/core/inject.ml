@@ -13,6 +13,7 @@ type config = {
   sample_seed : int;
   off_cycles : int;
   differential : bool;
+  keyframe_interval : int;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     sample_seed = 11;
     off_cycles = Wn_power.Supply.default_off_cycles;
     differential = false;
+    keyframe_interval = Faults.default_keyframe_interval;
   }
 
 type report = {
@@ -130,22 +132,46 @@ let differential_violations (a : Faults.point_result) (b : Faults.point_result) 
   List.rev !v
 
 let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
+  if config.keyframe_interval < 0 then invalid_arg "Inject.sweep";
   let scen = scenario ~config w in
+  (* Two streaming passes: one to learn the run's shape (the planner
+     needs it to place boundaries), one to take the planned prefix
+     digests and — when enabled — the keyframe store.  The store is
+     immutable from here on and shared read-only by every pool domain;
+     each injected point deep-copies the frame it resumes from into its
+     own machine. *)
   let prof = Faults.profile scen in
   let boundaries = plan ~mode ~seed:config.sample_seed prof in
-  let prefixes = Faults.prefix_digests scen ~boundaries in
+  let keyframe_interval =
+    if config.keyframe_interval = 0 then None else Some config.keyframe_interval
+  in
+  let s = Faults.survey ~boundaries ?keyframe_interval scen in
+  let prefixes = s.Faults.sv_digests in
+  let keyframes = s.Faults.sv_keyframes in
+  (* Skim-commit tails repeat between stores; the cache computes each
+     distinct tail once per sweep.  Part of the keyframe fast path:
+     [keyframe_interval = 0] keeps the plain from-scratch replay. *)
+  let skim_cache =
+    Option.map (fun _ -> Faults.skim_cache ()) keyframes
+  in
   let verdicts =
     Wn_exec.Pool.map ~jobs
       (fun i ->
         let boundary = boundaries.(i) in
-        let res = Faults.run_point ~off_cycles:config.off_cycles scen ~boundary in
+        let res =
+          Faults.run_point ~off_cycles:config.off_cycles ?keyframes scen
+            ~boundary
+        in
         let expect_skim =
           match prof.Faults.first_skim with
           | Some s -> s <= boundary
           | None -> false
         in
         let skim_ref =
-          if expect_skim then Faults.skim_reference scen ~boundary else None
+          if expect_skim then
+            Faults.skim_reference ?keyframes ?cache:skim_cache
+              ~prefix_digest:prefixes.(i) scen ~boundary
+          else None
         in
         let vs =
           Faults.check ~profile:prof ~prefix_digest:prefixes.(i) ~skim_ref res
@@ -154,7 +180,7 @@ let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
           if config.differential then
             let res' =
               Faults.run_point ~engine:Executor.Compat
-                ~off_cycles:config.off_cycles scen ~boundary
+                ~off_cycles:config.off_cycles ?keyframes scen ~boundary
             in
             vs @ differential_violations res res'
           else vs

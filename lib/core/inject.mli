@@ -28,11 +28,18 @@ type config = {
   differential : bool;
       (** additionally run every point under the Compat engine and
           require bit-identical restore state and outcome *)
+  keyframe_interval : int;
+      (** retired instructions between keyframe snapshots of the
+          continuous run; injected points then replay at most this many
+          prefix instructions instead of the whole prefix.  [0]
+          disables keyframes (every point replays from instruction 0).
+          Reports are byte-identical for every value. *)
 }
 
 val default_config : config
 (** Clank, anytime build, 8-bit subwords, seeds 5/11, default
-    off-period, no differential. *)
+    off-period, no differential, keyframes every
+    {!Wn_faults.Faults.default_keyframe_interval} instructions. *)
 
 type report = {
   workload : string;

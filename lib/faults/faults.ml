@@ -15,64 +15,125 @@ type profile = {
 
 let default_max_steps = 1_000_000_000
 
-let mem_digest m = Digest.bytes (Wn_mem.Memory.snapshot (Machine.mem m))
+let mem_digest m = Wn_mem.Memory.digest (Machine.mem m)
 
-let profile ?(max_steps = default_max_steps) scenario =
-  let m = scenario.fresh () in
-  let stores = ref [] and skms = ref [] in
-  let n = ref 0 in
-  while not (Machine.halted m) do
-    if !n >= max_steps then failwith "Faults.profile: program did not halt";
-    Machine.step_fast m;
-    incr n;
-    if Machine.last_wrote_addr m >= 0 then stores := !n :: !stores;
-    if Machine.last_was_skm m then skms := !n :: !skms
-  done;
-  let final_digest = mem_digest m in
-  (* Checkpoint placement is a property of the runtime, not the ISA:
-     observe it by running the policy once on an uninterrupted scripted
-     supply. *)
-  let ckpts = ref [] in
-  (match scenario.policy with
-  | Executor.Clank _ ->
-      let m2 = scenario.fresh () in
-      let supply = Supply.scripted () in
-      ignore
-        (Executor.run ~policy:scenario.policy
-           ~on_checkpoint:(fun retired -> ckpts := retired :: !ckpts)
-           ~machine:m2 ~supply ())
-  | Executor.Always_on | Executor.Nvp _ -> ());
-  {
-    retired = !n;
-    final_digest;
-    first_skim = (match List.rev !skms with [] -> None | b :: _ -> Some b);
-    store_boundaries = Array.of_list (List.rev !stores);
-    skm_boundaries = Array.of_list (List.rev !skms);
-    checkpoint_boundaries = Array.of_list (List.rev !ckpts);
-  }
+(* ---------------- the streaming survey pass ---------------- *)
 
-let prefix_digests ?(max_steps = default_max_steps) scenario ~boundaries =
+type keyframe = {
+  kf_retired : int;
+  kf_machine : Machine.snapshot;
+  kf_exec : Executor.resume_state;
+}
+
+type keyframes = {
+  interval : int;
+  frames : keyframe array;
+  kf_final : Executor.outcome;
+  kf_final_digest : Digest.t;
+}
+
+let default_keyframe_interval = 512
+
+type survey_result = {
+  sv_profile : profile;
+  sv_digests : Digest.t array;
+  sv_keyframes : keyframes option;
+}
+
+(* Everything the planner, oracle and keyframe replayer need, gathered
+   in ONE uninterrupted executor run under the scenario's policy: the
+   per-step hook records store/SKM boundaries and takes the requested
+   prefix digests, the checkpoint hook observes the policy's checkpoint
+   placement, and the keyframe hook captures (machine snapshot,
+   executor resume state) pairs every [keyframe_interval] retired
+   instructions.  The machine-visible state stream of a policy-driven
+   uninterrupted run is bit-identical to raw stepping (checkpoints only
+   read the register file), so the recorded boundaries and digests
+   equal the raw continuous run's. *)
+let survey ?(max_steps = default_max_steps) ?(boundaries = [||])
+    ?keyframe_interval scenario =
+  (match keyframe_interval with
+  | Some k when k < 1 -> invalid_arg "Faults.survey: keyframe_interval"
+  | _ -> ());
   let count = Array.length boundaries in
   Array.iteri
     (fun i b ->
       if b < 1 || (i > 0 && b <= boundaries.(i - 1)) then
-        invalid_arg "Faults.prefix_digests")
+        invalid_arg "Faults.survey: boundaries")
     boundaries;
   let m = scenario.fresh () in
-  let out = Array.make count Digest.(string "") in
+  let supply = Supply.scripted () in
+  let stores = ref [] and skms = ref [] and ckpts = ref [] in
+  let digests = Array.make count Digest.(string "") in
   let bi = ref 0 in
   let n = ref 0 in
-  while !bi < count && not (Machine.halted m) do
-    if !n >= max_steps then failwith "Faults.prefix_digests: program did not halt";
-    Machine.step_fast m;
+  let frames = ref [] in
+  let on_step () =
     incr n;
-    if boundaries.(!bi) = !n then begin
-      out.(!bi) <- mem_digest m;
+    if !n > max_steps && not (Machine.halted m) then
+      failwith "Faults.survey: program did not halt";
+    if Machine.last_wrote_addr m >= 0 then stores := !n :: !stores;
+    if Machine.last_was_skm m then skms := !n :: !skms;
+    if !bi < count && boundaries.(!bi) = !n then begin
+      digests.(!bi) <- mem_digest m;
       incr bi
     end
+  in
+  let on_checkpoint retired = ckpts := retired :: !ckpts in
+  let on_keyframe rs =
+    frames :=
+      { kf_retired = !n; kf_machine = Machine.snapshot m; kf_exec = rs }
+      :: !frames
+  in
+  let outcome =
+    Executor.run ~policy:scenario.policy ~on_step ~on_checkpoint
+      ?keyframe_every:keyframe_interval
+      ?on_keyframe:(Option.map (fun _ -> on_keyframe) keyframe_interval)
+      ~machine:m ~supply ()
+  in
+  if not outcome.Executor.completed then
+    failwith "Faults.survey: program did not halt";
+  if !bi < count then invalid_arg "Faults.survey: boundary past halt";
+  let profile =
+    {
+      retired = !n;
+      final_digest = mem_digest m;
+      first_skim = (match List.rev !skms with [] -> None | b :: _ -> Some b);
+      store_boundaries = Array.of_list (List.rev !stores);
+      skm_boundaries = Array.of_list (List.rev !skms);
+      checkpoint_boundaries = Array.of_list (List.rev !ckpts);
+    }
+  in
+  {
+    sv_profile = profile;
+    sv_digests = digests;
+    sv_keyframes =
+      Option.map
+        (fun interval ->
+          {
+            interval;
+            frames = Array.of_list (List.rev !frames);
+            kf_final = outcome;
+            kf_final_digest = profile.final_digest;
+          })
+        keyframe_interval;
+  }
+
+let profile ?max_steps scenario = (survey ?max_steps scenario).sv_profile
+
+let prefix_digests ?max_steps scenario ~boundaries =
+  (survey ?max_steps ~boundaries scenario).sv_digests
+
+(* Largest frame at or before [retired_max] (frames ascend in
+   kf_retired), or [None] if the store has nothing that early. *)
+let frame_at_or_before kfs ~retired_max =
+  let fr = kfs.frames in
+  let lo = ref 0 and hi = ref (Array.length fr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fr.(mid).kf_retired <= retired_max then lo := mid + 1 else hi := mid
   done;
-  if !bi < count then invalid_arg "Faults.prefix_digests: boundary past halt";
-  out
+  if !lo = 0 then None else Some fr.(!lo - 1)
 
 type restore_state = {
   at_retired : int;
@@ -90,13 +151,33 @@ type point_result = {
 }
 
 let run_point ?(engine = Executor.Fast)
-    ?(off_cycles = Supply.default_off_cycles) scenario ~boundary =
+    ?(off_cycles = Supply.default_off_cycles) ?keyframes scenario ~boundary =
   if boundary < 1 then invalid_arg "Faults.run_point";
   let m = scenario.fresh () in
   let supply = Supply.scripted ~off_cycles () in
-  Machine.set_step_budget m (Some boundary);
+  (* Resume from the nearest keyframe strictly before the boundary (the
+     outage must still lie ahead so the budget is >= 1): the continuous
+     prefix then costs at most [interval] steps instead of [boundary]. *)
+  let resume =
+    match keyframes with
+    | None -> None
+    | Some kfs -> (
+        match frame_at_or_before kfs ~retired_max:(boundary - 1) with
+        | None -> None
+        | Some kf ->
+            Machine.restore m kf.kf_machine;
+            Some kf)
+  in
+  let budget =
+    match resume with
+    | None -> boundary
+    | Some kf -> boundary - kf.kf_retired
+  in
+  Machine.set_step_budget m (Some budget);
   let restore = ref None in
+  let outage_seen = ref false in
   let on_restore _outage_index =
+    outage_seen := true;
     if !restore = None then
       restore :=
         Some
@@ -108,33 +189,156 @@ let run_point ?(engine = Executor.Fast)
             r_mem_digest = mem_digest m;
           }
   in
-  let outcome =
-    Executor.run ~policy:scenario.policy ~engine ~on_restore ~machine:m
-      ~supply ()
+  (* Rejoin fast-forward: once the injected run is past the outage, the
+     first instant its architectural state bit-matches a keyframe of the
+     continuous run the remainder is that run's remainder (the scripted
+     supply never cuts again), so the executor can stop and reconstruct
+     the tail from the survey's recorded final outcome.  Candidates are
+     indexed by PC, so the per-step probe is one array load on the vast
+     majority of steps; the gate on [outage_seen] keeps the prefix
+     replay — which matches keyframes trivially — running normally. *)
+  let ffired = ref false in
+  let fast_forward =
+    match keyframes with
+    | None -> None
+    | Some kfs when Array.length kfs.frames = 0 -> None
+    | Some kfs ->
+        let by_pc = Array.make (Array.length (Machine.program m)) [] in
+        Array.iter
+          (fun kf ->
+            let pc = Machine.snapshot_pc kf.kf_machine in
+            if pc >= 0 && pc < Array.length by_pc then
+              by_pc.(pc) <- kf :: by_pc.(pc))
+          kfs.frames;
+        Some
+          (fun () ->
+            if not !outage_seen then None
+            else
+              let pc = Machine.pc m in
+              if pc < 0 || pc >= Array.length by_pc then None
+              else
+                let rec probe = function
+                  | [] -> None
+                  | kf :: rest ->
+                      if Machine.matches_state m kf.kf_machine then begin
+                        ffired := true;
+                        Some
+                          {
+                            Executor.ff_at = kf.kf_exec;
+                            ff_final = kfs.kf_final;
+                          }
+                      end
+                      else probe rest
+                in
+                probe by_pc.(pc))
   in
-  { boundary; outcome; restore = !restore; final_digest = mem_digest m }
+  let outcome =
+    Executor.run ~policy:scenario.policy ~engine ~on_restore
+      ?resume:(Option.map (fun kf -> kf.kf_exec) resume)
+      ?fast_forward ~machine:m ~supply ()
+  in
+  let final_digest =
+    if !ffired then
+      match keyframes with
+      | Some kfs -> kfs.kf_final_digest
+      | None -> assert false
+    else mem_digest m
+  in
+  { boundary; outcome; restore = !restore; final_digest }
 
-let skim_reference ?(max_steps = default_max_steps) scenario ~boundary =
+(* The commit tail a skim reference executes is a pure function of the
+   machine state right after the jump: under Clank the register file is
+   scrubbed first, so the tail depends only on the memory image at the
+   boundary and the latched target; under NVP / always-on the register
+   file and flags survive the jump and join the key.  (The memo table
+   and zero-skip shortcuts change only cycle counts, never values, and
+   the returned digest covers memory alone.)  Consecutive boundaries
+   share the key until a store or a fresh [Skm] changes it, so an
+   exhaustive sweep computes a few thousand distinct tails instead of
+   one per skim boundary.  The table is mutex-protected: results are
+   deterministic, so concurrent duplicate computation is harmless and
+   reports stay byte-identical at any pool width. *)
+type skim_key = Digest.t * int * (int array * Wn_isa.Cond.flags) option
+
+type skim_cache = {
+  sc_mutex : Mutex.t;
+  sc_tbl : (skim_key, Digest.t) Hashtbl.t;
+}
+
+let skim_cache () = { sc_mutex = Mutex.create (); sc_tbl = Hashtbl.create 256 }
+
+let skim_reference ?(max_steps = default_max_steps) ?keyframes ?cache
+    ?prefix_digest scenario ~boundary =
   let m = scenario.fresh () in
-  for _ = 1 to boundary do
+  (* A keyframe at exactly [boundary] is usable here: the latched skim
+     target is part of the snapshot. *)
+  let start =
+    match keyframes with
+    | None -> 0
+    | Some kfs -> (
+        match frame_at_or_before kfs ~retired_max:boundary with
+        | None -> 0
+        | Some kf ->
+            Machine.restore m kf.kf_machine;
+            kf.kf_retired)
+  in
+  for _ = start + 1 to boundary do
+    if Machine.halted m then
+      invalid_arg "Faults.skim_reference: boundary past halt";
     Machine.step_fast m
   done;
   match Machine.take_skim m with
   | None -> None
   | Some target ->
-      (match scenario.policy with
-      | Executor.Clank _ ->
-          Machine.scrub_volatile m;
-          Machine.set_pc m target
-      | Executor.Nvp _ | Executor.Always_on -> Machine.set_pc m target);
-      let n = ref 0 in
-      while not (Machine.halted m) do
-        if !n >= max_steps then
-          failwith "Faults.skim_reference: program did not halt";
-        Machine.step_fast m;
-        incr n
-      done;
-      Some (mem_digest m)
+      let run_tail () =
+        (match scenario.policy with
+        | Executor.Clank _ ->
+            Machine.scrub_volatile m;
+            Machine.set_pc m target
+        | Executor.Nvp _ | Executor.Always_on -> Machine.set_pc m target);
+        let n = ref 0 in
+        while not (Machine.halted m) do
+          if !n >= max_steps then
+            failwith "Faults.skim_reference: program did not halt";
+          Machine.step_fast m;
+          incr n
+        done;
+        mem_digest m
+      in
+      let digest =
+        match cache with
+        | None -> run_tail ()
+        | Some c ->
+            let mem_d =
+              match prefix_digest with Some d -> d | None -> mem_digest m
+            in
+            let key : skim_key =
+              match scenario.policy with
+              | Executor.Clank _ -> (mem_d, target, None)
+              | Executor.Nvp _ | Executor.Always_on ->
+                  ( mem_d,
+                    target,
+                    Some
+                      ( Array.init Wn_isa.Reg.count (fun i ->
+                            Machine.reg m (Wn_isa.Reg.r i)),
+                        Machine.flags m ) )
+            in
+            let hit =
+              Mutex.lock c.sc_mutex;
+              let r = Hashtbl.find_opt c.sc_tbl key in
+              Mutex.unlock c.sc_mutex;
+              r
+            in
+            (match hit with
+            | Some d -> d
+            | None ->
+                let d = run_tail () in
+                Mutex.lock c.sc_mutex;
+                Hashtbl.replace c.sc_tbl key d;
+                Mutex.unlock c.sc_mutex;
+                d)
+      in
+      Some digest
 
 let check ~profile ~prefix_digest ~skim_ref result =
   let violations = ref [] in

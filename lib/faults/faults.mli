@@ -23,7 +23,19 @@
 
     All runs are deterministic: a scenario is a thunk producing a fresh,
     identically-loaded machine, so any number of injected runs can be
-    farmed out to domains and re-merged in boundary order. *)
+    farmed out to domains and re-merged in boundary order.
+
+    {b Keyframes.}  Replaying the continuous prefix from instruction 0
+    for every injected point makes an exhaustive sweep O(n²) in program
+    length.  A {!survey} pass can instead record {!keyframes} — whole
+    simulation snapshots ({!Wn_machine.Machine.snapshot} paired with the
+    executor's {!Wn_runtime.Executor.resume_state}) every [interval]
+    retired instructions — and {!run_point} / {!skim_reference} then
+    restore the nearest keyframe and step forward at most [interval]
+    instructions, making the sweep O(n·K) with bit-identical results.
+    A keyframe store is immutable after the survey and safe to share
+    read-only across pool domains: every restore deep-copies into the
+    consuming machine. *)
 
 type scenario = {
   fresh : unit -> Wn_machine.Machine.t;
@@ -33,9 +45,7 @@ type scenario = {
   policy : Wn_runtime.Executor.policy;
 }
 
-(** Continuous-run profile: everything the planner and oracle need,
-    gathered in two instrumented passes (one raw stepping pass; for
-    Clank, one executor pass to observe checkpoint placement). *)
+(** Continuous-run profile: everything the planner and oracle need. *)
 type profile = {
   retired : int;  (** instructions retired by the continuous run *)
   final_digest : Digest.t;  (** memory image at halt *)
@@ -47,15 +57,64 @@ type profile = {
       (** retired counts at which the policy checkpointed (Clank) *)
 }
 
+(** One whole-simulation keyframe: the machine snapshot and the
+    executor resume state captured at the same clean boundary of the
+    uninterrupted run. *)
+type keyframe = {
+  kf_retired : int;
+  kf_machine : Wn_machine.Machine.snapshot;
+  kf_exec : Wn_runtime.Executor.resume_state;
+}
+
+type keyframes = {
+  interval : int;
+  frames : keyframe array;
+  kf_final : Wn_runtime.Executor.outcome;
+      (** the continuous run's outcome at halt — the rejoin target *)
+  kf_final_digest : Digest.t;  (** the continuous run's final memory image *)
+}
+(** [frames] ascend in [kf_retired]; frame [i] sits at boundary
+    [(i + 1) * interval] (boundaries past halt are never captured). *)
+
+val default_keyframe_interval : int
+(** 512 retired instructions per keyframe — the measured sweet spot on
+    the exhaustive MatAdd sweep (see BENCH_inject.json): smaller
+    intervals densify the rejoin-probe candidate lists faster than they
+    shrink the replay windows, larger ones grow the windows. *)
+
+type survey_result = {
+  sv_profile : profile;
+  sv_digests : Digest.t array;
+      (** continuous-run memory digests, aligned with the requested
+          [boundaries] *)
+  sv_keyframes : keyframes option;
+}
+
+val survey :
+  ?max_steps:int ->
+  ?boundaries:int array ->
+  ?keyframe_interval:int ->
+  scenario ->
+  survey_result
+(** ONE streaming pass over the uninterrupted run under the scenario's
+    policy, gathering the {!profile} (store/SKM boundaries, checkpoint
+    placement, final digest), the prefix digests at the
+    strictly-ascending [boundaries] (all within [1, retired]) and — when
+    [keyframe_interval] is given — a keyframe store.  Replaces the
+    separate effect, checkpoint-observation and digest passes.
+
+    Raises [Failure] if the program does not halt within [max_steps]
+    (default one billion) instructions, [Invalid_argument] on malformed
+    [boundaries], a boundary past halt, or [keyframe_interval < 1]. *)
+
 val profile : ?max_steps:int -> scenario -> profile
-(** Raises [Failure] if the program does not halt within [max_steps]
-    (default one billion) instructions. *)
+(** [profile s = (survey s).sv_profile] — one pass. *)
 
 val prefix_digests :
   ?max_steps:int -> scenario -> boundaries:int array -> Digest.t array
 (** Memory digests of the continuous run at each boundary of the
     strictly-ascending [boundaries] (all within [1, retired]), computed
-    in one pass. *)
+    in one pass: [(survey ~boundaries s).sv_digests]. *)
 
 (** Machine state captured by the oracle at the instant restore
     completes (the [on_restore] hook). *)
@@ -77,21 +136,66 @@ type point_result = {
 val run_point :
   ?engine:Wn_runtime.Executor.engine ->
   ?off_cycles:int ->
+  ?keyframes:keyframes ->
   scenario ->
   boundary:int ->
   point_result
 (** Run the task with exactly one forced outage at [boundary] (which
     must be within [1, retired - 1] for the outage to strike before
     halt).  [off_cycles] is the powered-off period served before
-    restore (default {!Wn_power.Supply.default_off_cycles}). *)
+    restore (default {!Wn_power.Supply.default_off_cycles}).
+
+    With [keyframes] the point costs O(interval + recovery) instead of
+    O(retired): the continuous prefix resumes from the nearest keyframe
+    strictly before [boundary], and after the outage the run
+    fast-forwards the moment its architectural state bit-matches a
+    keyframe of the continuous run ({!Wn_machine.Machine.matches_state}
+    — at that instant the remainder is fully determined, so the
+    executor reconstructs the tail from the survey's recorded final
+    outcome and digest).  Everything the oracle and the report consume
+    — [boundary], [restore], [final_digest], and the outcome's
+    [completed], [skimmed] and [outage_count] — is bit-identical to the
+    from-scratch run.  The outcome's cycle-accounting fields (wall,
+    active, overhead, re-executed, checkpoint count) are reconstructed
+    from the continuous run's tail, whose Clank watchdog phase can
+    differ from a literal post-outage continuation; for those fields
+    treat a keyframed run as its own deterministic quantity (identical
+    across engines and jobs, not across [keyframes] on/off). *)
+
+type skim_cache
+(** Cross-boundary memo for skim-commit tails.  The tail a reference
+    run executes after the skim jump is a pure function of the machine
+    state at the jump: memory image and latched target (Clank scrubs
+    the register file first), plus registers and flags under NVP /
+    always-on.  Consecutive boundaries share that state until a store
+    or a fresh [Skm] changes it, so one cached tail serves whole runs
+    of boundaries.  Mutex-protected and safe to share across pool
+    domains; cached results equal what re-execution would produce (by
+    machine determinism), so reports are byte-identical with or
+    without a cache, at any pool width. *)
+
+val skim_cache : unit -> skim_cache
 
 val skim_reference :
-  ?max_steps:int -> scenario -> boundary:int -> Digest.t option
+  ?max_steps:int ->
+  ?keyframes:keyframes ->
+  ?cache:skim_cache ->
+  ?prefix_digest:Digest.t ->
+  scenario ->
+  boundary:int ->
+  Digest.t option
 (** Independent model of the paper's skim semantics at [boundary]: step
     a fresh machine [boundary] raw instructions, read the latched skim
     target ([None] if there is none), jump there — scrubbing the
     register file first under Clank — and run to halt; returns the
-    final memory digest. *)
+    final memory digest.  [keyframes] shortcut the prefix walk exactly
+    as in {!run_point}.  With [cache], the tail is looked up before
+    being executed; [prefix_digest] (the continuous run's memory digest
+    at [boundary], e.g. from {!survey}) saves the cache-key digest
+    recomputation and must match the machine's memory at [boundary] if
+    supplied.  Raises [Invalid_argument] if [boundary] lies past the
+    program's halt (the machine would otherwise be stepped while
+    halted). *)
 
 val check :
   profile:profile ->

@@ -654,6 +654,148 @@ let step_reference t =
   let read, wrote, memo_hit, zero_skipped = !effects in
   { instr = i; cycles = !cycles; read; wrote; memo_hit; zero_skipped }
 
+(* ---------------- whole-state snapshot ---------------- *)
+
+(* An opaque capture of everything mutable: architectural state
+   (registers, flags, PC, halt latch, SKM register, data memory),
+   statistics (retired/wn_retired/cycles, memory access counters, memo
+   table contents and counters), the step budget, and the [last_*]
+   effect scratch.  The predecode table and the program are immutable
+   and shared, so a snapshot is cheap (two array copies plus the memory
+   image) and [restore] into any machine built from the same program
+   and configuration is bit-exact under both [step_fast] and
+   [step_reference]. *)
+type snapshot = {
+  s_regs : int array;
+  s_pc : int;
+  s_fn : bool;
+  s_fz : bool;
+  s_fc : bool;
+  s_fv : bool;
+  s_halt : bool;
+  s_skim : int option;
+  s_retired : int;
+  s_wn_retired : int;
+  s_cycles : int;
+  s_steps_left : int;
+  s_mem : bytes;
+  s_mem_reads : int;
+  s_mem_writes : int;
+  s_memo : Memo.snapshot option;
+  s_zero_skip : bool;
+  s_program_len : int;
+  s_last_pc : int;
+  s_last_cycles : int;
+  s_last_read_addr : int;
+  s_last_read_bytes : int;
+  s_last_wrote_addr : int;
+  s_last_wrote_bytes : int;
+  s_last_memo_hit : bool;
+  s_last_zero_skipped : bool;
+  s_last_skm : bool;
+}
+
+let snapshot t =
+  let reads, writes = Wn_mem.Memory.read_stats t.mem in
+  {
+    s_regs = Array.copy t.regs;
+    s_pc = t.pcv;
+    s_fn = t.fn;
+    s_fz = t.fz;
+    s_fc = t.fc;
+    s_fv = t.fv;
+    s_halt = t.halt;
+    s_skim = t.skim;
+    s_retired = t.retired;
+    s_wn_retired = t.wn_retired;
+    s_cycles = t.cycles;
+    s_steps_left = t.steps_left;
+    s_mem = Wn_mem.Memory.snapshot t.mem;
+    s_mem_reads = reads;
+    s_mem_writes = writes;
+    s_memo = Option.map Memo.snapshot t.memo_table;
+    s_zero_skip = t.zero_skip;
+    s_program_len = Array.length t.program;
+    s_last_pc = t.last_pc;
+    s_last_cycles = t.last_cycles;
+    s_last_read_addr = t.last_read_addr;
+    s_last_read_bytes = t.last_read_bytes;
+    s_last_wrote_addr = t.last_wrote_addr;
+    s_last_wrote_bytes = t.last_wrote_bytes;
+    s_last_memo_hit = t.last_memo_hit;
+    s_last_zero_skipped = t.last_zero_skipped;
+    s_last_skm = t.last_skm;
+  }
+
+let restore t s =
+  if Array.length t.program <> s.s_program_len || t.zero_skip <> s.s_zero_skip
+  then invalid_arg "Machine.restore: configuration mismatch";
+  (match (t.memo_table, s.s_memo) with
+  | None, None -> ()
+  | Some table, Some ms -> Memo.restore table ms
+  | _ -> invalid_arg "Machine.restore: configuration mismatch");
+  Array.blit s.s_regs 0 t.regs 0 Reg.count;
+  t.pcv <- s.s_pc;
+  t.fn <- s.s_fn;
+  t.fz <- s.s_fz;
+  t.fc <- s.s_fc;
+  t.fv <- s.s_fv;
+  t.halt <- s.s_halt;
+  t.skim <- s.s_skim;
+  t.retired <- s.s_retired;
+  t.wn_retired <- s.s_wn_retired;
+  t.cycles <- s.s_cycles;
+  t.steps_left <- s.s_steps_left;
+  Wn_mem.Memory.restore t.mem s.s_mem;
+  Wn_mem.Memory.set_stats t.mem ~reads:s.s_mem_reads ~writes:s.s_mem_writes;
+  t.last_pc <- s.s_last_pc;
+  t.last_cycles <- s.s_last_cycles;
+  t.last_read_addr <- s.s_last_read_addr;
+  t.last_read_bytes <- s.s_last_read_bytes;
+  t.last_wrote_addr <- s.s_last_wrote_addr;
+  t.last_wrote_bytes <- s.s_last_wrote_bytes;
+  t.last_memo_hit <- s.s_last_memo_hit;
+  t.last_zero_skipped <- s.s_last_zero_skipped;
+  t.last_skm <- s.s_last_skm
+
+let snapshot_retired s = s.s_retired
+
+let snapshot_pc s = s.s_pc
+
+(* Monomorphic int-array compare: the rejoin probe calls this on the
+   register file once per candidate per step, where the polymorphic
+   [=] walk is measurably hot. *)
+let int_arrays_equal a b =
+  Array.length a = Array.length b
+  &&
+  let n = Array.length a in
+  let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+  go 0
+
+(* Architectural comparison: does the machine's forward-determining
+   state bit-match the snapshot's?  Statistics (retired, cycles, memory
+   access counts, memo hit rates) and the last-effect scratch fields are
+   excluded — they record the past, not the future.  Register compare
+   first: it fails fastest (a loop counter differs on almost every
+   probe), leaving the memory compare for near-matches only. *)
+let matches_state t s =
+  Array.length t.program = s.s_program_len
+  && t.zero_skip = s.s_zero_skip
+  && t.pcv = s.s_pc
+  && t.halt = s.s_halt
+  && t.fn = s.s_fn && t.fz = s.s_fz && t.fc = s.s_fc && t.fv = s.s_fv
+  && (match (t.skim, s.s_skim) with
+     | None, None -> true
+     | Some a, Some b -> a = b
+     | _ -> false)
+  && t.steps_left = s.s_steps_left
+  && int_arrays_equal t.regs s.s_regs
+  && (match (t.memo_table, s.s_memo) with
+     | None, None -> true
+     | Some table, Some ms -> Memo.state_equal table ms
+     | _ -> false)
+  && Wn_mem.Memory.matches t.mem s.s_mem
+
 type register_file = { saved_regs : int array; saved_flags : Cond.flags; saved_pc : int }
 
 let capture_registers t =

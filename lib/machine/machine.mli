@@ -137,6 +137,50 @@ val step_reference : t -> step_result
     in lockstep to prove the predecoded table faithful.  Not intended
     for production use. *)
 
+(** {2 Whole-state snapshot — keyframe support}
+
+    A {!snapshot} is an opaque, immutable capture of the machine's full
+    mutable state: registers, flags, PC, halt latch, SKM register,
+    retired/cycle statistics, the step budget, the [last_*] effect
+    scratch, data memory (with its access counters) and the memo table
+    (contents and counters).  The program and the predecoded dispatch
+    table are immutable and shared, so capture cost is two array copies
+    plus the memory image.
+
+    [restore] writes a snapshot into a machine built from the same
+    program and configuration — the same machine, or a fresh
+    {!create}d one — in place, so the target's predecode table (and the
+    memo table its closures capture) stays valid.  The invariant:
+    restoring and re-stepping is bit-exact with the original run under
+    both {!step_fast} and {!step_reference}.  Snapshots are never
+    mutated after capture and can be shared read-only across domains;
+    each [restore] deep-copies into the target. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Raises [Invalid_argument] if the target machine's program length,
+    zero-skip setting, memo configuration or memory size does not match
+    the snapshot's origin. *)
+
+val snapshot_retired : snapshot -> int
+(** Retired-instruction count at capture (keyframe placement). *)
+
+val snapshot_pc : snapshot -> int
+(** Program counter at capture (rejoin-candidate indexing). *)
+
+val matches_state : t -> snapshot -> bool
+(** True iff the machine's architectural state — PC, registers, flags,
+    halt and skim latches, step budget, memo slot contents, full memory
+    image — bit-matches the snapshot's.  Statistics counters (retired
+    instructions, cycles, memory access counts, memo hit rates) and the
+    last-effect scratch fields are ignored: they record the past, while
+    the compared state alone determines all future execution.  A
+    configuration mismatch (program length, zero-skip, memo presence or
+    size) compares as unequal rather than raising. *)
+
 (** {2 State capture — checkpointing and volatility} *)
 
 type register_file

@@ -84,6 +84,46 @@ let last_was_hit t = t.last_hit
 let hits t = t.hit_count
 let misses t = t.miss_count
 
+(* A snapshot copies the three slot arrays and the counters; [restore]
+   blits them back into an existing table of the same geometry.  The
+   machine's predecoded dispatch closures capture the table itself, so
+   restoring in place (rather than swapping the table out) keeps every
+   predecode table valid. *)
+type snapshot = {
+  s_tag_a : int array;
+  s_tag_b : int array;
+  s_result : int array;
+  s_hits : int;
+  s_misses : int;
+  s_last_hit : bool;
+}
+
+let snapshot t =
+  {
+    s_tag_a = Array.copy t.tag_a;
+    s_tag_b = Array.copy t.tag_b;
+    s_result = Array.copy t.result;
+    s_hits = t.hit_count;
+    s_misses = t.miss_count;
+    s_last_hit = t.last_hit;
+  }
+
+(* Slot contents only: the hit/miss counters are statistics and the
+   slots alone determine future lookup results (and hence timing). *)
+let state_equal t s =
+  Array.length s.s_result = Array.length t.result
+  && t.tag_a = s.s_tag_a && t.tag_b = s.s_tag_b && t.result = s.s_result
+
+let restore t s =
+  let n = Array.length t.result in
+  if Array.length s.s_result <> n then invalid_arg "Memo.restore: size mismatch";
+  Array.blit s.s_tag_a 0 t.tag_a 0 n;
+  Array.blit s.s_tag_b 0 t.tag_b 0 n;
+  Array.blit s.s_result 0 t.result 0 n;
+  t.hit_count <- s.s_hits;
+  t.miss_count <- s.s_misses;
+  t.last_hit <- s.s_last_hit
+
 let clear t =
   Array.fill t.tag_a 0 (Array.length t.tag_a) (-1);
   Array.fill t.tag_b 0 (Array.length t.tag_b) (-1);

@@ -37,3 +37,20 @@ val misses : t -> int
 
 val clear : t -> unit
 (** Empty the table and reset counters. *)
+
+(** {2 Snapshot / restore} *)
+
+type snapshot
+(** An immutable capture of the slot arrays and hit/miss counters. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Blit a snapshot back into a table of the same entry count, in
+    place — predecoded dispatch closures holding the table stay valid.
+    Raises [Invalid_argument] on a size mismatch. *)
+
+val state_equal : t -> snapshot -> bool
+(** True iff the table's slot contents equal the snapshot's (the
+    hit/miss statistics are ignored: slots alone determine every
+    future lookup). *)

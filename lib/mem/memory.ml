@@ -59,7 +59,18 @@ let reset_stats t =
   t.reads <- 0;
   t.writes <- 0
 
+let set_stats t ~reads ~writes =
+  if reads < 0 || writes < 0 then invalid_arg "Memory.set_stats";
+  t.reads <- reads;
+  t.writes <- writes
+
 let snapshot t = Bytes.copy t.store
+
+(* [Digest.bytes] hashes the backing store in place — no intermediate
+   copy, unlike [Digest.bytes (snapshot t)]. *)
+let digest t = Digest.bytes t.store
+
+let matches t image = Bytes.equal t.store image
 
 let restore t snap =
   if Bytes.length snap <> Bytes.length t.store then

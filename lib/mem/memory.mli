@@ -32,8 +32,22 @@ val read_stats : t -> int * int
 
 val reset_stats : t -> unit
 
+val set_stats : t -> reads:int -> writes:int -> unit
+(** Overwrite the access counters (snapshot/restore support — a
+    restored machine must report the counters it had at capture).
+    Raises [Invalid_argument] on negative counts. *)
+
 val snapshot : t -> bytes
 (** A copy of the full contents (checkpoint support). *)
+
+val digest : t -> Digest.t
+(** MD5 of the full contents, hashing the backing store in place —
+    equal to [Digest.bytes (snapshot t)] without the intermediate
+    copy. *)
+
+val matches : t -> bytes -> bool
+(** [matches t image] is true iff the current contents equal [image]
+    (a {!snapshot}), compared in place without copying. *)
 
 val restore : t -> bytes -> unit
 (** Overwrite contents from a snapshot of equal size. *)

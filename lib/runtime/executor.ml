@@ -120,25 +120,89 @@ let build_store_table program =
     program;
   t
 
+(* Mid-run resume state: the loop counters plus the Clank policy state,
+   captured at a clean instruction boundary of an uninterrupted run.
+   Everything inside is immutable once captured (the shadow bitmap is
+   copied at capture and again at resume; the checkpoint register file
+   is replaced wholesale on checkpoint, never mutated), so one
+   [resume_state] can seed any number of [run] calls from any number of
+   domains. *)
+type clank_resume = {
+  rc_checkpoint : Machine.register_file;
+  rc_shadow : Bytes.t;
+  rc_tracked : int;
+  rc_since_cycles : int;
+  rc_since_retired : int;
+}
+
+type resume_state = {
+  rs_clank : clank_resume option;
+  rs_active : int;
+  rs_overhead : int;
+  rs_reexecuted : int;
+  rs_outages : int;
+  rs_checkpoints : int;
+  rs_skimmed : bool;
+  rs_first_skim_active : int option;
+  rs_wall : int;  (* wall cycles elapsed from task start to capture *)
+  rs_retired : int;  (* instructions retired from task start to capture *)
+  rs_next_snapshot : int;
+}
+
+let resume_retired rs = rs.rs_retired
+
+(* Fast-forward: the caller has detected that the machine's
+   architectural state bit-matches a recorded boundary of a reference
+   run whose completion is already known, so the rest of this run is
+   fully determined.  [ff_at] holds the reference counters at the
+   matched boundary, [ff_final] the reference outcome at halt; the
+   outcome of this run is its live counters plus the reference
+   deltas. *)
+type fast_forward = { ff_at : resume_state; ff_final : outcome }
+
 let run ?(policy = Always_on) ?(engine = Fast)
     ?(max_wall_cycles = 20_000_000_000) ?(snapshot_every = 10_000) ?snapshot
-    ?(halt_at_skim = false) ?on_checkpoint ?on_restore ~machine ~supply () =
+    ?(halt_at_skim = false) ?on_checkpoint ?on_restore ?on_step ?resume
+    ?keyframe_every ?on_keyframe ?fast_forward ~machine ~supply () =
+  (match keyframe_every with
+  | Some k when k < 1 -> invalid_arg "Executor.run: keyframe_every"
+  | _ -> ());
   let wall_start = Supply.now_cycles supply in
   let retired_start = Machine.instructions_retired machine in
-  let active = ref 0 in
-  let overhead = ref 0 in
-  let reexecuted = ref 0 in
-  let outage_count = ref 0 in
-  let checkpoint_count = ref 0 in
-  let skimmed = ref false in
-  let first_skim_active = ref None in
-  let next_snapshot = ref snapshot_every in
+  (* Offsets a resumed run inherits from its captured prefix; zero for a
+     run from task entry.  The outcome then reports totals from task
+     start, bit-identical to an uninterrupted from-scratch run. *)
+  let wall_base, retired_base =
+    match resume with
+    | Some rs -> (rs.rs_wall, rs.rs_retired)
+    | None -> (0, 0)
+  in
+  let active = ref (match resume with Some r -> r.rs_active | None -> 0) in
+  let overhead = ref (match resume with Some r -> r.rs_overhead | None -> 0) in
+  let reexecuted =
+    ref (match resume with Some r -> r.rs_reexecuted | None -> 0)
+  in
+  let outage_count =
+    ref (match resume with Some r -> r.rs_outages | None -> 0)
+  in
+  let checkpoint_count =
+    ref (match resume with Some r -> r.rs_checkpoints | None -> 0)
+  in
+  let skimmed = ref (match resume with Some r -> r.rs_skimmed | None -> false) in
+  let first_skim_active =
+    ref (match resume with Some r -> r.rs_first_skim_active | None -> None)
+  in
+  let next_snapshot =
+    ref (match resume with Some r -> r.rs_next_snapshot | None -> snapshot_every)
+  in
+  let wall_elapsed () = wall_base + Supply.now_cycles supply - wall_start in
+  let task_retired () =
+    retired_base + Machine.instructions_retired machine - retired_start
+  in
   let take_snapshot () =
     match snapshot with
     | None -> ()
-    | Some hook ->
-        hook ~active_cycles:!active
-          ~wall_cycles:(Supply.now_cycles supply - wall_start)
+    | Some hook -> hook ~active_cycles:!active ~wall_cycles:(wall_elapsed ())
   in
   let spend_overhead cycles =
     overhead := !overhead + cycles;
@@ -150,16 +214,62 @@ let run ?(policy = Always_on) ?(engine = Fast)
     match policy with
     | Clank cfg ->
         let words = (Wn_mem.Memory.size (Machine.mem machine) + 3) / 4 in
-        Some
-          ( cfg,
+        let shadow_len = (words + 3) / 4 in
+        let st =
+          match resume with
+          | Some { rs_clank = Some rc; _ } ->
+              if Bytes.length rc.rc_shadow <> shadow_len then
+                invalid_arg "Executor.run: resume shadow map size mismatch";
+              {
+                checkpoint = rc.rc_checkpoint;
+                shadow = Bytes.copy rc.rc_shadow;
+                tracked = rc.rc_tracked;
+                since_ckpt_cycles = rc.rc_since_cycles;
+                since_ckpt_retired = rc.rc_since_retired;
+              }
+          | Some { rs_clank = None; _ } ->
+              invalid_arg "Executor.run: resume state lacks Clank policy state"
+          | None ->
+              {
+                checkpoint = Machine.capture_registers machine;
+                shadow = Bytes.make shadow_len '\000';
+                tracked = 0;
+                since_ckpt_cycles = 0;
+                since_ckpt_retired = 0;
+              }
+        in
+        Some (cfg, st)
+    | Always_on | Nvp _ ->
+        (match resume with
+        | Some { rs_clank = Some _; _ } ->
+            invalid_arg "Executor.run: resume state carries Clank policy state"
+        | _ -> ());
+        None
+  in
+  let capture_resume () =
+    {
+      rs_clank =
+        Option.map
+          (fun (_cfg, st) ->
             {
-              checkpoint = Machine.capture_registers machine;
-              shadow = Bytes.make ((words + 3) / 4) '\000';
-              tracked = 0;
-              since_ckpt_cycles = 0;
-              since_ckpt_retired = 0;
-            } )
-    | Always_on | Nvp _ -> None
+              rc_checkpoint = st.checkpoint;
+              rc_shadow = Bytes.copy st.shadow;
+              rc_tracked = st.tracked;
+              rc_since_cycles = st.since_ckpt_cycles;
+              rc_since_retired = st.since_ckpt_retired;
+            })
+          clank;
+      rs_active = !active;
+      rs_overhead = !overhead;
+      rs_reexecuted = !reexecuted;
+      rs_outages = !outage_count;
+      rs_checkpoints = !checkpoint_count;
+      rs_skimmed = !skimmed;
+      rs_first_skim_active = !first_skim_active;
+      rs_wall = wall_elapsed ();
+      rs_retired = task_retired ();
+      rs_next_snapshot = !next_snapshot;
+    }
   in
   let stores = build_store_table (Machine.program machine) in
   let shadow_words st = Bytes.length st.shadow * 4 in
@@ -296,10 +406,27 @@ let run ?(policy = Always_on) ?(engine = Fast)
       Supply.cut supply
     end
   in
-  let wall_elapsed () = Supply.now_cycles supply - wall_start in
+  (* After an instruction (and its post-step accounting) completes:
+     first the per-step observation hook, then — at every
+     [keyframe_every]'th retired instruction of an uninterrupted run —
+     the keyframe hook with a freshly captured resume state.  Keyframes
+     are never taken on a halted machine or while power is down (a
+     pending forced outage included), so every captured state is a clean
+     resumable boundary. *)
+  let after_step () =
+    (match on_step with Some f -> f () | None -> ());
+    match (keyframe_every, on_keyframe) with
+    | Some k, Some hook ->
+        if
+          task_retired () mod k = 0
+          && (not (Machine.halted machine))
+          && Supply.is_on supply
+        then hook (capture_resume ())
+    | _ -> ()
+  in
   let rec loop () =
-    if Machine.halted machine then true
-    else if wall_elapsed () > max_wall_cycles then false
+    if Machine.halted machine then `Done true
+    else if wall_elapsed () > max_wall_cycles then `Done false
     else if not (Supply.is_on supply) then begin
       handle_outage ();
       loop ()
@@ -330,20 +457,63 @@ let run ?(policy = Always_on) ?(engine = Fast)
           in
           post_step ~cycles:res.Machine.cycles ~read_addr ~wrote_addr
             ~wrote_bytes ~was_skm);
-      loop ()
+      after_step ();
+      match fast_forward with
+      | None -> loop ()
+      | Some probe ->
+          (* A skim commit leaves the reference trajectory the probe's
+             certificate came from, so matches are no longer expected;
+             skipping the probe is always sound (the run just keeps
+             stepping) and removes the per-step compare from every
+             commit tail. *)
+          if !skimmed then loop ()
+          else (
+            match probe () with Some ff -> `Fast_forward ff | None -> loop ())
     end
   in
-  let completed = loop () in
-  take_snapshot ();
-  {
-    completed;
-    skimmed = !skimmed;
-    first_skim_active = !first_skim_active;
-    wall_cycles = wall_elapsed ();
-    active_cycles = !active;
-    overhead_cycles = !overhead;
-    reexecuted_instructions = !reexecuted;
-    outage_count = !outage_count;
-    checkpoint_count = !checkpoint_count;
-    retired = Machine.instructions_retired machine - retired_start;
-  }
+  match loop () with
+  | `Done completed ->
+      take_snapshot ();
+      {
+        completed;
+        skimmed = !skimmed;
+        first_skim_active = !first_skim_active;
+        wall_cycles = wall_elapsed ();
+        active_cycles = !active;
+        overhead_cycles = !overhead;
+        reexecuted_instructions = !reexecuted;
+        outage_count = !outage_count;
+        checkpoint_count = !checkpoint_count;
+        retired = task_retired ();
+      }
+  | `Fast_forward ff ->
+      (* The machine is left at the matched state, not at halt, and the
+         snapshot hook is not replayed for the skipped tail. *)
+      {
+        completed = ff.ff_final.completed;
+        skimmed = !skimmed || (ff.ff_final.skimmed && not ff.ff_at.rs_skimmed);
+        first_skim_active =
+          (match !first_skim_active with
+          | Some _ as s -> s
+          | None -> (
+              match
+                (ff.ff_final.first_skim_active, ff.ff_at.rs_first_skim_active)
+              with
+              | Some a, None -> Some (!active + (a - ff.ff_at.rs_active))
+              | _ -> None));
+        wall_cycles =
+          wall_elapsed () + (ff.ff_final.wall_cycles - ff.ff_at.rs_wall);
+        active_cycles =
+          !active + (ff.ff_final.active_cycles - ff.ff_at.rs_active);
+        overhead_cycles =
+          !overhead + (ff.ff_final.overhead_cycles - ff.ff_at.rs_overhead);
+        reexecuted_instructions =
+          !reexecuted
+          + (ff.ff_final.reexecuted_instructions - ff.ff_at.rs_reexecuted);
+        outage_count =
+          !outage_count + (ff.ff_final.outage_count - ff.ff_at.rs_outages);
+        checkpoint_count =
+          !checkpoint_count
+          + (ff.ff_final.checkpoint_count - ff.ff_at.rs_checkpoints);
+        retired = task_retired () + (ff.ff_final.retired - ff.ff_at.rs_retired);
+      }

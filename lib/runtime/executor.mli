@@ -67,6 +67,32 @@ type snapshot_hook = active_cycles:int -> wall_cycles:int -> unit
     the first instruction boundary past each multiple) and once at task
     end; used to sample output quality over time. *)
 
+type resume_state
+(** Executor-visible state at a clean instruction boundary of an
+    uninterrupted run: the loop's accumulated counters (active,
+    overhead and wall cycles, retired instructions, outage / checkpoint
+    counts, skim bookkeeping) plus, under [Clank], the policy state —
+    the last register-file checkpoint, the read-first/written shadow
+    map and the epoch counters.  Captured via [on_keyframe]; immutable
+    once captured, so one value can seed any number of resumed runs
+    from any number of domains (each [run ~resume] deep-copies the
+    mutable parts).  Pair it with the {!Wn_machine.Machine.snapshot}
+    taken at the same boundary to resume execution as if the run had
+    never stopped: the resumed run's [outcome] is bit-identical to the
+    from-scratch run's. *)
+
+val resume_retired : resume_state -> int
+(** Instructions retired from task start at capture. *)
+
+type fast_forward = { ff_at : resume_state; ff_final : outcome }
+(** A rejoin certificate: the caller has observed that the machine's
+    architectural state bit-matches a boundary of a reference run whose
+    completion is already recorded.  Since the architectural state alone
+    determines all future execution on a scripted supply, the rest of
+    this run is the rest of that one.  [ff_at] is the reference run's
+    [resume_state] at the matched boundary; [ff_final] its outcome at
+    halt. *)
+
 val run :
   ?policy:policy ->
   ?engine:engine ->
@@ -76,6 +102,11 @@ val run :
   ?halt_at_skim:bool ->
   ?on_checkpoint:(int -> unit) ->
   ?on_restore:(int -> unit) ->
+  ?on_step:(unit -> unit) ->
+  ?resume:resume_state ->
+  ?keyframe_every:int ->
+  ?on_keyframe:(resume_state -> unit) ->
+  ?fast_forward:(unit -> fast_forward option) ->
   machine:Wn_machine.Machine.t ->
   supply:Wn_power.Supply.t ->
   unit ->
@@ -100,4 +131,39 @@ val run :
     resumes from.  Additionally, if the machine's step budget
     ({!Wn_machine.Machine.set_step_budget}) reaches zero the executor
     clears it and forces an outage ({!Wn_power.Supply.cut}) at that
-    exact instruction boundary. *)
+    exact instruction boundary.
+
+    Observation and keyframes: [on_step] fires after every instruction's
+    post-step accounting, with the machine's [last_*] scratch accessors
+    valid — the streaming profiler in [wn.faults] records store/SKM
+    boundaries and prefix digests through it.  With [keyframe_every = k]
+    and [on_keyframe] set, a {!resume_state} is captured and handed to
+    the hook at every [k]'th retired instruction (counted from task
+    start) that is a clean boundary — machine not halted, power up, no
+    forced outage pending.  [keyframe_every] must be >= 1.
+
+    Resume: [resume] seeds the run with a previously captured
+    [resume_state]; the caller must first restore the matching
+    {!Wn_machine.Machine.snapshot} into [machine] (and may then set a
+    fresh step budget).  The policy must match the one the state was
+    captured under, or [Invalid_argument] is raised.  A resumed run's
+    [outcome] reports totals from task start and is bit-identical to
+    running from scratch.
+
+    Fast-forward: [fast_forward] is probed after every instruction's
+    post-step accounting (after [on_step]) until the run skim-commits —
+    a commit leaves the trajectory the certificate describes, so the
+    probe is dropped rather than paid on every commit-tail step;
+    returning [Some ff] ends the run immediately with the outcome
+    reconstructed as the live counters plus the reference deltas
+    [ff_final - ff_at].  The probe must only
+    certify a genuine bit-level architectural match
+    ({!Wn_machine.Machine.matches_state}) against the run [ff] came
+    from, on the same supply script — then the reconstruction is exact
+    for [completed], [skimmed], [outage_count] and [retired], while the
+    cycle-accounting fields ([wall], [active], [overhead],
+    [reexecuted], [checkpoint_count]) are exact relative to the
+    reference run's own policy phase (a Clank watchdog realigned by an
+    earlier outage may differ from a literal continuation).  When it
+    fires, the machine is left at the matched state, not at halt, and
+    the [snapshot] hook does not replay over the skipped tail. *)

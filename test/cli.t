@@ -39,6 +39,10 @@ parser; a nonsensical integer by the command's own validation:
   wn: --jobs must be >= 1 (got 0)
   [124]
 
+  $ wn inject MatAdd --keyframe-interval=-4
+  wn: --keyframe-interval must be >= 0 (got -4)
+  [124]
+
   $ wn curve MatAdd --points 0
   wn: --points must be >= 1 (got 0)
   [124]

@@ -145,6 +145,150 @@ let test_exhaustive_anytime () =
       ("nvp", Executor.Nvp Executor.default_nvp);
     ]
 
+(* The one-pass survey must report exactly what the old separate passes
+   saw: a raw stepping pass for effects and digests, an executor run
+   for checkpoint placement. *)
+let test_survey_matches_raw_passes () =
+  let policy =
+    Executor.Clank { Executor.default_clank with watchdog_period = 50 }
+  in
+  let sc = scenario ~policy (anytime_program ()) in
+  (* Raw pass: effects, final digest, prefix digests. *)
+  let m = sc.Faults.fresh () in
+  let stores = ref [] and skms = ref [] in
+  let n = ref 0 in
+  let boundaries = [| 1; 4; 5; 60; 100 |] in
+  let digests = Array.make (Array.length boundaries) Digest.(string "") in
+  let bi = ref 0 in
+  while not (Machine.halted m) do
+    Machine.step_fast m;
+    incr n;
+    if Machine.last_wrote_addr m >= 0 then stores := !n :: !stores;
+    if Machine.last_was_skm m then skms := !n :: !skms;
+    if !bi < Array.length boundaries && boundaries.(!bi) = !n then begin
+      digests.(!bi) <- Wn_mem.Memory.digest (Machine.mem m);
+      incr bi
+    end
+  done;
+  (* Executor pass: continuous-run checkpoint placement. *)
+  let m2 = sc.Faults.fresh () in
+  let ckpts = ref [] in
+  ignore
+    (Executor.run ~policy ~on_checkpoint:(fun r -> ckpts := r :: !ckpts)
+       ~machine:m2 ~supply:(Wn_power.Supply.scripted ()) ());
+  let s = Faults.survey ~boundaries ~keyframe_interval:16 sc in
+  let p = s.Faults.sv_profile in
+  Alcotest.(check int) "retired" !n p.Faults.retired;
+  Alcotest.(check string) "final digest"
+    (Digest.to_hex (Wn_mem.Memory.digest (Machine.mem m)))
+    (Digest.to_hex p.Faults.final_digest);
+  Alcotest.(check (array int)) "stores"
+    (Array.of_list (List.rev !stores))
+    p.Faults.store_boundaries;
+  Alcotest.(check (array int)) "skms"
+    (Array.of_list (List.rev !skms))
+    p.Faults.skm_boundaries;
+  Alcotest.(check (array int)) "checkpoints"
+    (Array.of_list (List.rev !ckpts))
+    p.Faults.checkpoint_boundaries;
+  Alcotest.(check (array string)) "prefix digests"
+    (Array.map Digest.to_hex digests)
+    (Array.map Digest.to_hex s.Faults.sv_digests);
+  (* The keyframe store covers every interval boundary before halt. *)
+  (match s.Faults.sv_keyframes with
+  | None -> Alcotest.fail "keyframes requested but not recorded"
+  | Some kfs ->
+      Alcotest.(check int) "frame count" ((!n - 1) / 16)
+        (Array.length kfs.Faults.frames);
+      Array.iteri
+        (fun i kf ->
+          Alcotest.(check int) "frame position" ((i + 1) * 16)
+            kf.Faults.kf_retired)
+        kfs.Faults.frames);
+  Alcotest.check_raises "interval 0 rejected"
+    (Invalid_argument "Faults.survey: keyframe_interval") (fun () ->
+      ignore (Faults.survey ~keyframe_interval:0 sc))
+
+(* Satellite regression: a boundary past the program's halt must be
+   refused, not silently step a halted machine. *)
+let test_skim_reference_past_halt () =
+  List.iter
+    (fun program ->
+      let sc = scenario program in
+      let p = Faults.profile sc in
+      (* The last real boundary is fine (and is [None] after halt's
+         retirement only when nothing is latched)... *)
+      ignore (Faults.skim_reference sc ~boundary:p.Faults.retired);
+      (* ...but one past it would step a halted machine. *)
+      Alcotest.check_raises "past halt"
+        (Invalid_argument "Faults.skim_reference: boundary past halt")
+        (fun () ->
+          ignore
+            (Faults.skim_reference sc ~boundary:(p.Faults.retired + 1))))
+    [ precise_program (); anytime_program () ]
+
+(* -------------------- keyframe resume identity --------------------- *)
+
+(* Every injected point resumed from a keyframe must agree with the
+   same point replayed from scratch on everything the oracle and the
+   report consume: boundary, captured restore state, final memory
+   digest, completion, skim verdict and outage count.  (The outcome's
+   cycle-accounting fields are reconstructed from the continuous run's
+   tail once the replay provably rejoins it, so they are deterministic
+   but not compared against scratch.)  Additionally the two engines
+   must agree bit-exactly with each other, keyframed or not.  Exercised
+   across policies (incl. a tight Clank watchdog, so resumes cross live
+   checkpoint/shadow state), builds and engines, at every boundary. *)
+let test_keyframe_point_identity () =
+  let report_view (r : Faults.point_result) =
+    ( r.Faults.boundary,
+      r.Faults.restore,
+      Digest.to_hex r.Faults.final_digest,
+      r.Faults.outcome.Executor.completed,
+      r.Faults.outcome.Executor.skimmed,
+      r.Faults.outcome.Executor.outage_count )
+  in
+  List.iter
+    (fun (pname, policy, program) ->
+      let sc = scenario ~policy program in
+      let s = Faults.survey ~keyframe_interval:8 sc in
+      let keyframes = Option.get s.Faults.sv_keyframes in
+      let cache = Faults.skim_cache () in
+      let p = s.Faults.sv_profile in
+      for boundary = 1 to p.Faults.retired - 1 do
+        let per_engine =
+          List.map
+            (fun engine ->
+              let scratch = Faults.run_point ~engine sc ~boundary in
+              let resumed = Faults.run_point ~engine ~keyframes sc ~boundary in
+              if report_view scratch <> report_view resumed then
+                Alcotest.failf "%s, boundary %d: keyframed point diverges" pname
+                  boundary;
+              (scratch, resumed))
+            [ Executor.Fast; Executor.Compat ]
+        in
+        (match per_engine with
+        | [ (fast_s, fast_r); (compat_s, compat_r) ] ->
+            if fast_s <> compat_s || fast_r <> compat_r then
+              Alcotest.failf "%s, boundary %d: engines diverge" pname boundary
+        | _ -> assert false);
+        let scratch_ref = Faults.skim_reference sc ~boundary in
+        let resumed_ref = Faults.skim_reference ~keyframes ~cache sc ~boundary in
+        match (scratch_ref, resumed_ref) with
+        | None, None -> ()
+        | Some a, Some b when Digest.equal a b -> ()
+        | _ ->
+            Alcotest.failf "%s, boundary %d: keyframed skim reference diverges"
+              pname boundary
+      done)
+    [
+      ( "clank/anytime/tight",
+        Executor.Clank { Executor.default_clank with watchdog_period = 50 },
+        anytime_program () );
+      ("clank/precise", Executor.Clank Executor.default_clank, precise_program ());
+      ("nvp/anytime", Executor.Nvp Executor.default_nvp, anytime_program ());
+    ]
+
 (* The oracle itself must not be vacuous: feed it deliberately wrong
    references and require it to object. *)
 let test_oracle_not_vacuous () =
@@ -214,6 +358,25 @@ let test_sampled_matadd_sweep () =
   Alcotest.(check string) "jobs=2 report identical" (render report) (render again);
   if report <> again then Alcotest.fail "jobs=2 report record diverged"
 
+(* The sweep report must be byte-identical with keyframes on or off —
+   the interval is a pure replay-cost knob. *)
+let test_sweep_keyframes_identical () =
+  let w = Wn_workloads.Suite.find Wn_workloads.Workload.Small "MatAdd" in
+  let base = { Inject.default_config with keyframe_interval = 0 } in
+  let keyed = { base with Inject.keyframe_interval = 512 } in
+  let off = Inject.sweep ~jobs:2 ~mode:(Inject.Sampled 40) ~config:base w in
+  let on = Inject.sweep ~jobs:2 ~mode:(Inject.Sampled 40) ~config:keyed w in
+  let render rep = Format.asprintf "%a" Inject.pp rep in
+  Alcotest.(check string) "rendered reports identical" (render off) (render on);
+  if off <> { on with Inject.config = base } then
+    Alcotest.fail "keyframed sweep record diverged";
+  Alcotest.check_raises "negative interval" (Invalid_argument "Inject.sweep")
+    (fun () ->
+      ignore
+        (Inject.sweep ~jobs:1 ~mode:(Inject.Sampled 4)
+           ~config:{ base with Inject.keyframe_interval = -1 }
+           w))
+
 let test_sampler_determinism () =
   let w = Wn_workloads.Suite.find Wn_workloads.Workload.Small "MatAdd" in
   let config = { Inject.default_config with system = Wn_core.Intermittent.Nvp } in
@@ -234,6 +397,15 @@ let () =
         [
           Alcotest.test_case "step budget" `Quick test_step_budget;
           Alcotest.test_case "profile shapes" `Quick test_profile_shapes;
+          Alcotest.test_case "survey matches raw passes" `Quick
+            test_survey_matches_raw_passes;
+          Alcotest.test_case "skim reference past halt" `Quick
+            test_skim_reference_past_halt;
+        ] );
+      ( "keyframes",
+        [
+          Alcotest.test_case "point identity (all boundaries)" `Quick
+            test_keyframe_point_identity;
         ] );
       ( "oracle",
         [
@@ -249,6 +421,8 @@ let () =
       ( "suite",
         [
           Alcotest.test_case "sampled MatAdd sweep" `Slow test_sampled_matadd_sweep;
+          Alcotest.test_case "keyframes on/off identical" `Slow
+            test_sweep_keyframes_identical;
           Alcotest.test_case "sampler determinism" `Slow test_sampler_determinism;
         ] );
     ]

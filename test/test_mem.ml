@@ -45,6 +45,21 @@ let test_snapshot_restore () =
     (Invalid_argument "Memory.restore: size mismatch") (fun () ->
       Memory.restore m (Bytes.create 4))
 
+let test_digest () =
+  let m = Memory.create ~size:64 in
+  Memory.write32 m 0 0xDEADBEEF;
+  Memory.write16 m 40 0x1234;
+  Alcotest.(check string) "digest = digest of the snapshot image"
+    (Digest.to_hex (Digest.bytes (Memory.snapshot m)))
+    (Digest.to_hex (Memory.digest m));
+  let before = Memory.digest m in
+  Memory.write8 m 63 1;
+  if Digest.equal before (Memory.digest m) then
+    Alcotest.fail "digest must see every byte of the store";
+  (* Reading the digest must not copy-on-write or otherwise detach the
+     backing store. *)
+  Alcotest.(check int) "store still live" 0xDEADBEEF (Memory.read32 m 0)
+
 let test_stats () =
   let m = Memory.create ~size:32 in
   ignore (Memory.read8 m 0);
@@ -82,6 +97,7 @@ let () =
           Alcotest.test_case "truncation" `Quick test_truncation;
           Alcotest.test_case "bounds" `Quick test_bounds;
           Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "digest" `Quick test_digest;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "region/blit/fill" `Quick test_region_blit_fill;
           QCheck_alcotest.to_alcotest prop_rw_roundtrip;
