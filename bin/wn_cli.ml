@@ -8,6 +8,7 @@
      wn inject BENCH ...          outage-point fault-injection sweep
      wn disasm BENCH ...          show the compiled WN-32 program
      wn lint BENCH ...            static verification of the compiled program
+     wn verify BENCH ...          static forward-progress (WCEC) verification
      wn source BENCH ...          show the generated WNC source *)
 
 open Cmdliner
@@ -457,6 +458,12 @@ let disasm_cmd =
       term_result
         (const run $ bench_arg $ scale_arg $ bits_arg $ precise_arg))
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit machine-readable JSON instead of the human report.")
+
 let lint_cmd =
   let strict_arg =
     Arg.(
@@ -464,14 +471,27 @@ let lint_cmd =
       & info [ "strict" ]
           ~doc:"Exit non-zero if any error-severity finding is reported.")
   in
-  let run bench scale bits precise strict =
+  let run bench scale bits precise strict json =
     match build_compiled bench scale bits precise with
     | Error e -> Error e
     | Ok (w, compiled) ->
         let diags = Wn_compiler.Compile.lint compiled in
-        Format.printf "%s (%s, %d-bit): %a@." w.Workload.name
-          (if precise then "precise" else "anytime")
-          bits Wn_analysis.Diag.pp_report diags;
+        if json then
+          print_endline
+            (Wn_analysis.Jsonu.diag_report
+               ~extra:
+                 [
+                   ("benchmark", Wn_analysis.Jsonu.str w.Workload.name);
+                   ( "build",
+                     Wn_analysis.Jsonu.str
+                       (if precise then "precise" else "anytime") );
+                   ("bits", Wn_analysis.Jsonu.int bits);
+                 ]
+               diags)
+        else
+          Format.printf "%s (%s, %d-bit): %a@." w.Workload.name
+            (if precise then "precise" else "anytime")
+            bits Wn_analysis.Diag.pp_report diags;
         if strict && Wn_analysis.Diag.worst diags = Some Wn_analysis.Diag.Error
         then Error (`Msg "static verification failed")
         else Ok ()
@@ -480,11 +500,107 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Run the static verifier (CFG, liveness, skim safety, WAR \
-          hazards) over a benchmark's compiled program")
+          hazards, forward progress) over a benchmark's compiled program")
     Term.(
       term_result
         (const run $ bench_arg $ scale_arg $ bits_arg $ precise_arg
-       $ strict_arg))
+       $ strict_arg $ json_arg))
+
+let verify_cmd =
+  let runtime_arg =
+    let sys_conv =
+      Arg.enum [ ("clank", `Clank); ("nvp", `Nvp); ("skim", `Skim) ]
+    in
+    Arg.(
+      value & opt sys_conv `Clank
+      & info [ "system" ] ~docv:"SYS"
+          ~doc:
+            "Runtime model bounding the per-charge burn: $(b,clank) \
+             (watchdog-capped epochs), $(b,nvp) (per-instruction commit) \
+             or $(b,skim) (no dynamic net: the raw region WCEC must fit \
+             the budget).")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "cap" ] ~docv:"UF" ~doc:"Capacitance in microfarads.")
+  in
+  let v_on_arg =
+    Arg.(
+      value & opt float 2.3
+      & info [ "v-on" ] ~docv:"V" ~doc:"Turn-on threshold voltage.")
+  in
+  let v_off_arg =
+    Arg.(
+      value & opt float 1.8
+      & info [ "v-off" ] ~docv:"V" ~doc:"Brown-out threshold voltage.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt int Wn_runtime.Executor.default_clank.watchdog_period
+      & info [ "watchdog" ] ~docv:"CYCLES"
+          ~doc:"Clank watchdog period in cycles (ignored for other systems).")
+  in
+  let run bench scale bits precise system cap_uf v_on v_off watchdog json =
+    let* watchdog = require_positive "watchdog" watchdog in
+    let* () =
+      if cap_uf > 0.0 then Ok ()
+      else Error (`Msg "--cap must be positive")
+    in
+    let* () =
+      if 0.0 < v_off && v_off < v_on then Ok ()
+      else Error (`Msg "need 0 < --v-off < --v-on")
+    in
+    match build_compiled bench scale bits precise with
+    | Error e -> Error e
+    | Ok (w, compiled) ->
+        let runtime =
+          match system with
+          | `Clank ->
+              Wn_analysis.Progress.clank ~watchdog_period:watchdog ()
+          | `Nvp -> Wn_analysis.Progress.nvp ()
+          | `Skim -> Wn_analysis.Progress.skim_only ()
+        in
+        let budget =
+          Wn_power.Capacitor.restart_budget
+            (Wn_power.Capacitor.create ~capacitance:(cap_uf *. 1e-6) ~v_on
+               ~v_off ~v_max:(Float.max v_on 2.5) ())
+        in
+        let report = Wn_compiler.Compile.verify ~runtime ~budget compiled in
+        let diags = Wn_analysis.Progress.diagnostics report in
+        if json then
+          print_endline
+            (Wn_analysis.Jsonu.diag_report
+               ~extra:
+                 [
+                   ("benchmark", Wn_analysis.Jsonu.str w.Workload.name);
+                   ( "build",
+                     Wn_analysis.Jsonu.str
+                       (if precise then "precise" else "anytime") );
+                   ("bits", Wn_analysis.Jsonu.int bits);
+                   ("report", Wn_analysis.Jsonu.of_progress report);
+                 ]
+               diags)
+        else begin
+          Format.printf "%s (%s, %d-bit):@.%a" w.Workload.name
+            (if precise then "precise" else "anytime")
+            bits Wn_analysis.Progress.pp_report report;
+          Format.printf "%a@." Wn_analysis.Diag.pp_report diags
+        end;
+        if Wn_analysis.Diag.worst diags = Some Wn_analysis.Diag.Error then
+          Error (`Msg "forward-progress verification failed")
+        else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify forward progress: per-region worst-case \
+          energy (WCEC) against the capacitor's restart budget")
+    Term.(
+      term_result
+        (const run $ bench_arg $ scale_arg $ bits_arg $ precise_arg
+       $ runtime_arg $ cap_arg $ v_on_arg $ v_off_arg $ watchdog_arg
+       $ json_arg))
 
 let source_cmd =
   let run bench scale bits =
@@ -507,4 +623,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; curve_cmd; figure_cmd; inject_cmd; disasm_cmd;
-            lint_cmd; source_cmd ]))
+            lint_cmd; verify_cmd; source_cmd ]))

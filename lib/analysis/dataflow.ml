@@ -5,47 +5,123 @@ type 'a spec = {
   equal : 'a -> 'a -> bool;
 }
 
-(* Round-robin to fixpoint.  [edges_in b] are the blocks whose
-   post-values flow into [b]; [base b] says whether [b] also receives
-   the boundary value (function entries forward, exits backward). *)
-let solve nb spec ~edges_in ~base =
+(* Reverse postorder over an arbitrary successor relation, rooted at
+   [roots]; any block unreached from the roots is appended by a second
+   sweep in index order, so the returned order always covers every
+   block exactly once (deterministically). *)
+let reverse_postorder nb ~roots ~next =
+  let seen = Array.make nb false in
+  let order = ref [] in
+  let rec dfs b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter dfs (next b);
+      order := b :: !order
+    end
+  in
+  List.iter dfs roots;
+  for b = 0 to nb - 1 do
+    dfs b
+  done;
+  !order
+
+(* Worklist to fixpoint, visiting in reverse postorder priority.
+   [edges_in b] are the blocks whose post-values flow into [b]; [base b]
+   says whether [b] also receives the boundary value (function entries
+   forward, exits backward); [edges_out b] are the dependents to requeue
+   when [b]'s post-value changes.
+
+   Each visit recomputes [b]'s in-value from scratch as the join over
+   its incoming post-values, exactly as the seed's round-robin solver
+   did — for a monotone spec, chaotic iteration converges to the same
+   fixpoint whatever the visit order, and the worklist only touches
+   blocks whose inputs actually changed (O(edges · height) instead of
+   O(blocks · passes)).
+
+   [widen], when provided, is applied at widening points — blocks with
+   an incoming retreating edge (a predecessor later in the iteration
+   order, i.e. loop heads) — once a block has been revisited more than
+   [widen_delay] times.  [widen old new] must return a value at least
+   as large as [old], so domains of unbounded height (intervals) still
+   terminate; bounded domains never need it. *)
+let solve ?widen ?(widen_delay = 2) nb spec ~edges_in ~edges_out ~order ~base =
   let pre = Array.init nb (fun b -> spec.init b) in
   let post = Array.init nb (fun b -> spec.transfer b pre.(b)) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for b = 0 to nb - 1 do
-      let incoming =
-        List.map (fun p -> post.(p)) (edges_in b)
-        @ (if base b then [ spec.init b ] else [])
-      in
-      match incoming with
-      | [] -> ()
-      | v :: rest ->
-          let joined = List.fold_left spec.join v rest in
-          if not (spec.equal joined pre.(b)) then begin
-            pre.(b) <- joined;
-            post.(b) <- spec.transfer b joined;
-            changed := true
-          end
-    done
+  let pos = Array.make nb 0 in
+  List.iteri (fun i b -> pos.(b) <- i) order;
+  let widen_point = Array.make nb false in
+  (match widen with
+  | None -> ()
+  | Some _ ->
+      for b = 0 to nb - 1 do
+        if List.exists (fun p -> pos.(p) >= pos.(b)) (edges_in b) then
+          widen_point.(b) <- true
+      done);
+  let visits = Array.make nb 0 in
+  let in_queue = Array.make nb false in
+  let queue = Queue.create () in
+  let push b =
+    if not in_queue.(b) then begin
+      in_queue.(b) <- true;
+      Queue.add b queue
+    end
+  in
+  List.iter push order;
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    in_queue.(b) <- false;
+    visits.(b) <- visits.(b) + 1;
+    let incoming =
+      List.map (fun p -> post.(p)) (edges_in b)
+      @ (if base b then [ spec.init b ] else [])
+    in
+    match incoming with
+    | [] -> ()
+    | v :: rest ->
+        let joined = List.fold_left spec.join v rest in
+        let joined =
+          match widen with
+          | Some w when widen_point.(b) && visits.(b) > widen_delay ->
+              w pre.(b) joined
+          | _ -> joined
+        in
+        if not (spec.equal joined pre.(b)) then begin
+          pre.(b) <- joined;
+          post.(b) <- spec.transfer b joined;
+          List.iter push (edges_out b)
+        end
   done;
   (pre, post)
 
-let forward (cfg : Cfg.t) spec =
+let forward ?widen ?widen_delay ?(also_base = fun _ -> false) (cfg : Cfg.t)
+    spec =
   let nb = Array.length cfg.blocks in
-  let entry_blocks =
-    List.map (fun e -> cfg.block_of.(e)) cfg.entries
+  let entry_blocks = List.map (fun e -> cfg.block_of.(e)) cfg.entries in
+  let base b = cfg.pred.(b) = [] || List.mem b entry_blocks || also_base b in
+  let order =
+    reverse_postorder nb ~roots:entry_blocks ~next:(fun b -> cfg.succ.(b))
   in
-  let base b = cfg.pred.(b) = [] || List.mem b entry_blocks in
-  solve nb spec ~edges_in:(fun b -> (cfg.pred : int list array).(b)) ~base
+  solve ?widen ?widen_delay nb spec
+    ~edges_in:(fun b -> (cfg.pred : int list array).(b))
+    ~edges_out:(fun b -> (cfg.succ : int list array).(b))
+    ~order ~base
 
-let backward (cfg : Cfg.t) spec =
+let backward ?widen ?widen_delay ?(also_base = fun _ -> false) (cfg : Cfg.t)
+    spec =
   let nb = Array.length cfg.blocks in
-  let base b = cfg.succ.(b) = [] in
+  let base b = cfg.succ.(b) = [] || also_base b in
+  let exits =
+    List.filter (fun b -> cfg.succ.(b) = []) (List.init nb Fun.id)
+  in
   (* Flowing against the edges, [solve]'s pre is the block's out-value
      and its post the in-value. *)
+  let order =
+    reverse_postorder nb ~roots:exits ~next:(fun b -> cfg.pred.(b))
+  in
   let outs, ins =
-    solve nb spec ~edges_in:(fun b -> (cfg.succ : int list array).(b)) ~base
+    solve ?widen ?widen_delay nb spec
+      ~edges_in:(fun b -> (cfg.succ : int list array).(b))
+      ~edges_out:(fun b -> (cfg.pred : int list array).(b))
+      ~order ~base
   in
   (ins, outs)

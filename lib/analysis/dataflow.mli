@@ -1,12 +1,28 @@
 (** Generic iterative dataflow over the basic blocks of a {!Cfg.t}.
 
-    The solver runs a round-robin worklist to a fixpoint.  Values are
-    joined at control-flow merges with [join]; a block's [transfer]
-    maps its in-value to its out-value (callers re-walk the block's
-    instructions when they need per-pc facts).  Functions are
+    The solver is a worklist iterated in reverse postorder: each block's
+    in-value is recomputed as the join over its dependencies'
+    out-values, and only blocks whose inputs changed are revisited —
+    O(edges · lattice height) instead of the seed's O(blocks · passes)
+    round-robin, with the identical fixpoint for any monotone spec.
+    Values are joined at control-flow merges with [join]; a block's
+    [transfer] maps its in-value to its out-value (callers re-walk the
+    block's instructions when they need per-pc facts).  Functions are
     disconnected components of the intraprocedural graph, so a single
     solve covers the whole program; blocks with no in-edges (function
-    entries, restore points) start from [init]. *)
+    entries, restore points) start from [init].
+
+    Domains of unbounded height (e.g. intervals) pass [widen]: after a
+    block with an incoming retreating edge (a loop head) has been
+    revisited [widen_delay] times, its new in-value becomes
+    [widen old new] instead of the plain join.  [widen] must return a
+    value at least as large as [old] for the iteration to terminate.
+
+    Chaotic iteration is order-independent only when the starting
+    assignment sits below the equations' image, i.e. [init b] should be
+    the domain's bottom on blocks that are not boundary blocks (no
+    in-edges / [also_base]).  Seeding interior cycles with arbitrary
+    non-bottom values can converge to an order-dependent solution. *)
 
 type 'a spec = {
   init : int -> 'a;
@@ -17,11 +33,26 @@ type 'a spec = {
   equal : 'a -> 'a -> bool;
 }
 
-val forward : Cfg.t -> 'a spec -> 'a array * 'a array
+val forward :
+  ?widen:('a -> 'a -> 'a) ->
+  ?widen_delay:int ->
+  ?also_base:(int -> bool) ->
+  Cfg.t ->
+  'a spec ->
+  'a array * 'a array
 (** [(ins, outs)] per block: [ins.(b)] is the join over predecessors'
-    outs (or [init b] with none), [outs.(b) = transfer b ins.(b)]. *)
+    outs (or [init b] with none), [outs.(b) = transfer b ins.(b)].
+    [also_base b] forces [init b] to be joined into [b]'s in-value even
+    when it has predecessors — e.g. skim targets, which a restore can
+    enter with scrubbed state. *)
 
-val backward : Cfg.t -> 'a spec -> 'a array * 'a array
+val backward :
+  ?widen:('a -> 'a -> 'a) ->
+  ?widen_delay:int ->
+  ?also_base:(int -> bool) ->
+  Cfg.t ->
+  'a spec ->
+  'a array * 'a array
 (** [(ins, outs)] per block, flowing against the edges: [outs.(b)] is
     the join over successors' ins (or [init b] with none), and
     [ins.(b) = transfer b outs.(b)]. *)

@@ -32,7 +32,13 @@ let compare a b =
   match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
   | 0 -> (
       match Option.compare Int.compare a.pc b.pc with
-      | 0 -> String.compare a.rule b.rule
+      | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> (
+              match Option.compare String.compare a.symbol b.symbol with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
       | c -> c)
   | c -> c
 
@@ -53,7 +59,9 @@ let pp ppf d =
 let pp_report ppf = function
   | [] -> Format.fprintf ppf "clean (no diagnostics)"
   | ds ->
-      let ds = List.sort compare ds in
+      (* [compare] is a total order over every field, so sorting with it
+         makes exact duplicates adjacent; report each finding once. *)
+      let ds = List.sort_uniq compare ds in
       List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
       let count s = List.length (List.filter (fun d -> d.severity = s) ds) in
       Format.fprintf ppf "%d diagnostics (%d errors, %d warnings, %d notes)"

@@ -31,8 +31,9 @@ val warningf :
 val severity_name : severity -> string
 
 val compare : t -> t -> int
-(** Orders by severity (errors first), then program counter, then
-    rule. *)
+(** Orders by severity (errors first), then program counter, then rule,
+    then symbol, then message — a total order over every field, so two
+    diagnostics compare equal only when they are exact duplicates. *)
 
 val worst : t list -> severity option
 (** Highest severity present, [None] on a clean report. *)
@@ -41,5 +42,6 @@ val pp : Format.formatter -> t -> unit
 (** One line: [error\[war-hazard\] pc 42 (x): message]. *)
 
 val pp_report : Format.formatter -> t list -> unit
-(** Sorted list of {!pp} lines followed by a count summary; prints
-    ["clean (no diagnostics)"] for the empty list. *)
+(** Sorted list of {!pp} lines followed by a count summary; exact
+    duplicates are reported once; prints ["clean (no diagnostics)"] for
+    the empty list. *)

@@ -1,0 +1,30 @@
+open Wn_isa
+
+(* The static cost model is the execution cost model, not a copy of it:
+   per-instruction worst-case latency comes from [Instr.worst_cycles]
+   (the same table [Machine.step]/[step_fast] pay, with memoization and
+   zero-skipping only ever shortening it), and the joules-per-cycle and
+   capacitor-budget constants come from [Wn_power]. *)
+
+let default_cycle_energy = Wn_power.Supply.default_cycle_energy
+
+let worst_cycles = Instr.worst_cycles
+
+let energy_of_cycles ~cycle_energy cycles =
+  float_of_int cycles *. cycle_energy
+
+let block_worst_cycles (cfg : Cfg.t) b =
+  let blk = cfg.blocks.(b) in
+  let acc = ref 0 in
+  for pc = blk.first to blk.last do
+    acc := !acc + worst_cycles cfg.program.(pc)
+  done;
+  !acc
+
+let max_instruction_cycles (cfg : Cfg.t) =
+  Array.fold_left (fun acc i -> max acc (worst_cycles i)) 0 cfg.program
+
+let restart_budget = Wn_power.Capacitor.restart_budget
+
+let default_restart_budget () =
+  restart_budget (Wn_power.Capacitor.create ())

@@ -1,0 +1,185 @@
+open Wn_isa
+
+let u32_max = 0xFFFF_FFFF
+
+type itv = { lo : int; hi : int }
+
+let top = { lo = 0; hi = u32_max }
+let const v = { lo = v land u32_max; hi = v land u32_max }
+let make lo hi = { lo = max 0 lo; hi = min u32_max hi }
+let is_top v = v.lo = 0 && v.hi = u32_max
+let is_const v = if v.lo = v.hi then Some v.lo else None
+let itv_equal a b = a.lo = b.lo && a.hi = b.hi
+
+let join_itv a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(* Classic interval widening: any bound still moving after the delay
+   jumps straight to the domain bound. *)
+let widen_itv old next =
+  {
+    lo = (if next.lo < old.lo then 0 else old.lo);
+    hi = (if next.hi > old.hi then u32_max else old.hi);
+  }
+
+(* Abstract transfer helpers.  Everything is unsigned 32-bit; any
+   operation that could wrap goes to [top] rather than modelling the
+   wrap. *)
+let add_itv a b =
+  if a.hi + b.hi > u32_max then top else { lo = a.lo + b.lo; hi = a.hi + b.hi }
+
+let sub_itv a b =
+  if a.lo - b.hi < 0 then top else { lo = a.lo - b.hi; hi = a.hi - b.lo }
+
+let mul_itv a b =
+  if a.hi * b.hi > u32_max then top else { lo = a.lo * b.lo; hi = a.hi * b.hi }
+
+(* Smallest all-ones mask covering v: OR/EOR results never exceed it. *)
+let bits_mask v =
+  let rec go m = if m >= v then m else go ((m lsl 1) lor 1) in
+  go 0
+
+let alu_itv (op : Instr.alu_op) a b =
+  match op with
+  | Add | Adc -> add_itv a b
+  | Sub | Sbc -> sub_itv a b
+  | And -> { lo = 0; hi = min a.hi b.hi }
+  | Orr | Eor -> { lo = 0; hi = bits_mask (a.hi lor b.hi) }
+  | Bic -> { lo = 0; hi = a.hi }
+
+let shift_itv (op : Instr.shift_op) a k =
+  match op with
+  | Lsl -> if a.hi lsl k > u32_max then top else { lo = a.lo lsl k; hi = a.hi lsl k }
+  | Lsr -> { lo = a.lo lsr k; hi = a.hi lsr k }
+  | Asr ->
+      (* Negative patterns shift in ones; only the non-negative range is
+         a plain logical shift. *)
+      if a.hi < 0x8000_0000 then { lo = a.lo asr k; hi = a.hi asr k } else top
+
+(* ---------------- register-file states ---------------- *)
+
+let nregs = 16
+
+type state = itv array (* one interval per architectural register *)
+
+let state_top () = Array.make nregs top
+let state_zero () = Array.make nregs (const 0)
+
+(* The analysis value is [state option]: [None] is bottom — "no path
+   reaches this block yet" — and is the identity of the join.  Without
+   it, a loop latch's initial value would join into the loop header as
+   if it were a real path, permanently destroying loop-invariant facts
+   (joins only ever go up). *)
+let state_equal a b =
+  let rec go i = i >= nregs || (itv_equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> state_equal a b
+  | _ -> false
+
+let state_join a b = Array.init nregs (fun i -> join_itv a.(i) b.(i))
+let state_widen a b = Array.init nregs (fun i -> widen_itv a.(i) b.(i))
+
+let opt_join a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (state_join a b)
+
+let opt_widen a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (state_widen a b)
+
+let get st r = st.(Reg.index r)
+
+let step st (i : int Instr.t) =
+  let set r v =
+    let st' = Array.copy st in
+    st'.(Reg.index r) <- v;
+    st'
+  in
+  match i with
+  | Instr.Mov_imm (rd, imm) -> set rd (const imm)
+  | Instr.Movt (rd, imm) -> (
+      let high = (imm land 0xFFFF) lsl 16 in
+      match is_const (get st rd) with
+      | Some v -> set rd (const (high lor (v land 0xFFFF)))
+      | None -> set rd (make high (high lor 0xFFFF)))
+  | Instr.Mov (rd, rs) -> set rd (get st rs)
+  | Instr.Alu (op, rd, rn, rm) -> set rd (alu_itv op (get st rn) (get st rm))
+  | Instr.Alu_imm (op, rd, rn, imm) ->
+      set rd (alu_itv op (get st rn) (const imm))
+  | Instr.Shift (op, rd, rn, k) -> set rd (shift_itv op (get st rn) k)
+  | Instr.Mul (rd, rn, rm) -> set rd (mul_itv (get st rn) (get st rm))
+  | Instr.Mul_asp { rd; _ } -> set rd top
+  | Instr.Add_asv (_, rd, _, _) | Instr.Sub_asv (_, rd, _, _) -> set rd top
+  | Instr.Sqrt (rd, _) | Instr.Sqrt_asp { rd; _ } -> set rd (make 0 0xFFFF)
+  | Instr.Ldr { rd; _ } | Instr.Ldr_reg { rd; _ } -> set rd top
+  | Instr.Bl _ -> set Reg.lr top
+  | Instr.Cmp _ | Instr.Cmp_imm _ | Instr.Str _ | Instr.Str_reg _
+  | Instr.B _ | Instr.Bx_lr | Instr.Skm _ | Instr.Nop | Instr.Halt ->
+      st
+
+type t = { cfg : Cfg.t; in_blk : state option array; out_blk : state option array }
+
+let analyze (cfg : Cfg.t) =
+  let blocks = cfg.blocks in
+  (* Skim targets are restore entry points: a restore scrubs the
+     register file, so their in-state must also cover all-zeros. *)
+  let skim_target_blocks =
+    List.filter_map
+      (fun (_, t) ->
+        if t >= 0 && t < Array.length cfg.program then Some cfg.block_of.(t)
+        else None)
+      cfg.skims
+  in
+  let spec =
+    {
+      Dataflow.init =
+        (fun b ->
+          (* The task entry and every skim target start from scrubbed
+             (all-zero) registers; other function entries receive
+             arguments and start from top.  Everything else starts at
+             bottom so only real incoming paths contribute. *)
+          if blocks.(b).first = 0 || List.mem b skim_target_blocks then
+            Some (state_zero ())
+          else if List.mem blocks.(b).first cfg.entries then Some (state_top ())
+          else None);
+      transfer =
+        (fun b st ->
+          match st with
+          | None -> None
+          | Some st ->
+              let st = ref st in
+              for pc = blocks.(b).first to blocks.(b).last do
+                st := step !st cfg.program.(pc)
+              done;
+              Some !st);
+      join = opt_join;
+      equal = opt_equal;
+    }
+  in
+  let in_blk, out_blk =
+    Dataflow.forward ~widen:opt_widen ~widen_delay:2
+      ~also_base:(fun b -> List.mem b skim_target_blocks)
+      cfg spec
+  in
+  { cfg; in_blk; out_blk }
+
+(* Blocks the analysis proved unreachable keep bottom states; queries
+   against them answer [top], the sound "don't know". *)
+let reg_at t pc r =
+  let b = t.cfg.block_of.(pc) in
+  match t.in_blk.(b) with
+  | None -> top
+  | Some st ->
+      let st = ref st in
+      for q = t.cfg.blocks.(b).first to pc - 1 do
+        st := step !st t.cfg.program.(q)
+      done;
+      get !st r
+
+let reg_out_of_block t b r =
+  match t.out_blk.(b) with None -> top | Some st -> get st r

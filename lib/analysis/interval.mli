@@ -1,0 +1,45 @@
+(** Interval/const abstract domain over the 16 architectural registers.
+
+    A forward abstract interpretation mapping each register to an
+    unsigned 32-bit interval [\[lo, hi\]], solved with the widening
+    worklist solver (classic interval widening at loop heads after a
+    short delay).  Precision is tuned for the trip-count questions the
+    WCEC analysis asks: constants propagate exactly, add/sub/shift stay
+    tight while they cannot wrap, and everything data-dependent (loads,
+    multiplies, subword ops) goes to top.
+
+    Soundness at restore points: the task entry and every skim target
+    also start from the all-zero state (the machine scrubs volatile
+    registers there), joined with whatever the fall-through
+    predecessors provide. *)
+
+open Wn_isa
+
+type itv = { lo : int; hi : int }
+(** Invariant: [0 <= lo <= hi <= 0xFFFF_FFFF]. *)
+
+val top : itv
+val const : int -> itv
+
+val make : int -> int -> itv
+(** Clamped to the u32 range. *)
+
+val is_top : itv -> bool
+val is_const : itv -> int option
+val itv_equal : itv -> itv -> bool
+val join_itv : itv -> itv -> itv
+val widen_itv : itv -> itv -> itv
+
+type t
+
+val analyze : Cfg.t -> t
+
+val reg_at : t -> int -> Reg.t -> itv
+(** Interval of a register immediately before the instruction at [pc]
+    executes (recomputed by walking the block from its solved
+    in-state). *)
+
+val reg_out_of_block : t -> int -> Reg.t -> itv
+(** Interval of a register at the end of block [b] (solved out-state) —
+    what flows along [b]'s outgoing edges, e.g. into a loop header from
+    its preheader. *)

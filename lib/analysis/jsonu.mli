@@ -1,0 +1,30 @@
+(** Minimal JSON emission for machine-readable diagnostics.
+
+    Hand-rolled (the toolchain carries no JSON library): values are
+    rendered directly to strings with proper escaping.  Used by
+    [wn lint --json] and [wn verify --json]. *)
+
+val escape : string -> string
+val str : string -> string
+val int : int -> string
+val bool : bool -> string
+val null : string
+val float : float -> string
+val opt : ('a -> string) -> 'a option -> string
+val arr : string list -> string
+val obj : (string * string) list -> string
+
+val of_diag : Diag.t -> string
+
+val of_diags : Diag.t list -> string
+
+val diag_report : ?extra:(string * string) list -> Diag.t list -> string
+(** Object with the diagnostic array plus severity counts; [extra]
+    fields are appended (e.g. the [wn verify] region table). *)
+
+val of_bound : Progress.bound -> string
+val of_region : Progress.region -> string
+
+val of_progress : Progress.report -> string
+(** The full [wn verify] report: runtime model, budget, loop trip
+    bounds and the per-region WCEC table. *)

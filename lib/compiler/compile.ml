@@ -35,6 +35,10 @@ let storage_bytes (g : Ast.global) = g.g_count * Ast.ty_bytes g.g_ty
 
 let align4 n = (n + 3) land lnot 3
 
+let verify ?runtime ?budget ?cycle_energy t =
+  Wn_analysis.Progress.analyze ?runtime ?budget ?cycle_energy
+    (Wn_analysis.Cfg.build t.program)
+
 let lint t =
   let symbols =
     List.map
@@ -42,7 +46,13 @@ let lint t =
         { Wn_analysis.Addr.sym_name; sym_addr; sym_bytes })
       t.storage
   in
-  Wn_analysis.Check.program ~symbols t.program
+  let structural = Wn_analysis.Check.program ~symbols t.program in
+  (* Forward-progress findings at the default runtime (Clank watchdog)
+     and the paper's default capacitor: a program whose WCEC regions
+     cannot fit one charge is broken for any deployment, so the lint
+     gate sees it. *)
+  let progress = Wn_analysis.Progress.diagnostics (verify t) in
+  List.sort Wn_analysis.Diag.compare (structural @ progress)
 
 let compile ?(options = anytime) ?(strict = false) (source : Ast.program) =
   let info =

@@ -52,7 +52,18 @@ val compile_source : ?options:options -> ?strict:bool -> string -> t
 
 val lint : t -> Wn_analysis.Diag.t list
 (** Static-verifier diagnostics for an already-compiled program, using
-    its full storage-level symbol table. *)
+    its full storage-level symbol table.  Includes the forward-progress
+    (WCEC) findings of {!verify} at the default Clank runtime and
+    default capacitor. *)
+
+val verify :
+  ?runtime:Wn_analysis.Progress.runtime ->
+  ?budget:float ->
+  ?cycle_energy:float ->
+  t ->
+  Wn_analysis.Progress.report
+(** Forward-progress WCEC report for the compiled program (defaults as
+    in {!Wn_analysis.Progress.analyze}). *)
 
 val symbol : t -> string -> symbol
 (** Raises {!Error} for unknown names. *)

@@ -82,6 +82,12 @@ let cycles ~taken = function
   | Nop -> 1
   | Halt -> 1
 
+(* The static cost model: the most cycles any execution of the
+   instruction can pay.  Memoization and zero-skipping only shorten
+   multiplies, and a taken branch is never cheaper than a fall-through,
+   so this is the per-instruction ceiling the WCEC analysis sums. *)
+let worst_cycles i = max (cycles ~taken:true i) (cycles ~taken:false i)
+
 let reads_memory = function Ldr _ | Ldr_reg _ -> true | _ -> false
 let writes_memory = function Str _ | Str_reg _ -> true | _ -> false
 

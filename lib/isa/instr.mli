@@ -77,6 +77,12 @@ val cycles : taken:bool -> 'lbl t -> int
     III-A) can shorten multiplies; that short-circuit lives in the
     machine, not here. *)
 
+val worst_cycles : 'lbl t -> int
+(** Worst-case latency over every execution of the instruction:
+    [max (cycles ~taken:true) (cycles ~taken:false)].  Memoization and
+    zero-skipping can only shorten multiplies, so this is the sound
+    per-instruction ceiling the static WCEC analysis builds on. *)
+
 val reads_memory : 'lbl t -> bool
 val writes_memory : 'lbl t -> bool
 

@@ -503,6 +503,7 @@ let step_fast t =
 
 let last_pc t = t.last_pc
 let last_cycles t = t.last_cycles
+let worst_case_cycles = Instr.worst_cycles
 let last_read_addr t = t.last_read_addr
 let last_read_bytes t = t.last_read_bytes
 let last_wrote_addr t = t.last_wrote_addr

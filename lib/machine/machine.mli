@@ -101,6 +101,13 @@ val last_pc : t -> int
 val last_cycles : t -> int
 (** Latency actually paid, after memo/zero-skip shortcuts. *)
 
+val worst_case_cycles : 'lbl Instr.t -> int
+(** Static latency ceiling of one instruction: {!last_cycles} never
+    exceeds it under either engine (memoization and zero-skipping only
+    shorten multiplies, a taken/untaken branch never exceeds the taken
+    cost).  This is the per-instruction cost the {!Wn_analysis} WCEC
+    verifier sums, re-exported here to pin the two models together. *)
+
 val last_read_addr : t -> int
 val last_read_bytes : t -> int
 val last_wrote_addr : t -> int

@@ -32,6 +32,9 @@ let usable_energy t =
 let burst_budget t =
   energy_at t.capacitance t.v_max -. energy_at t.capacitance t.v_off
 
+let restart_budget t =
+  energy_at t.capacitance t.v_on -. energy_at t.capacitance t.v_off
+
 let is_on t = t.on
 
 let update_state t =

@@ -27,6 +27,13 @@ val burst_budget : t -> float
 (** Energy of one full on-period, ½C(v_max² - v_off²) — the "few
     milliseconds at a time" budget. *)
 
+val restart_budget : t -> float
+(** Energy guaranteed between turning on and browning out with zero
+    harvest, ½C(v_on² - v_off²).  After an outage the device restarts
+    at exactly [v_on], so this is the budget every
+    checkpoint-to-checkpoint region must fit in for forward progress —
+    the bound the static WCEC verifier checks against. *)
+
 val is_on : t -> bool
 (** True while the capacitor can power the core.  Hysteresis: becomes
     true when the voltage reaches [v_on], false when it sags below

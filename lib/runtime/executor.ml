@@ -162,8 +162,8 @@ type fast_forward = { ff_at : resume_state; ff_final : outcome }
 
 let run ?(policy = Always_on) ?(engine = Fast)
     ?(max_wall_cycles = 20_000_000_000) ?(snapshot_every = 10_000) ?snapshot
-    ?(halt_at_skim = false) ?on_checkpoint ?on_restore ?on_step ?resume
-    ?keyframe_every ?on_keyframe ?fast_forward ~machine ~supply () =
+    ?(halt_at_skim = false) ?on_checkpoint ?on_restore ?on_region ?on_step
+    ?resume ?keyframe_every ?on_keyframe ?fast_forward ~machine ~supply () =
   (match keyframe_every with
   | Some k when k < 1 -> invalid_arg "Executor.run: keyframe_every"
   | _ -> ());
@@ -204,8 +204,25 @@ let run ?(policy = Always_on) ?(engine = Fast)
     | None -> ()
     | Some hook -> hook ~active_cycles:!active ~wall_cycles:(wall_elapsed ())
   in
+  (* Per-region cycle metering for the WCEC soundness oracle: a region
+     window is every cycle burned — execution and runtime overhead —
+     between consecutive power-fail-safe points (checkpoint committed,
+     power death, per-instruction commit under NVP, halt).  Each such
+     window must stay below the static per-charge bound. *)
+  let region_acc = ref 0 in
+  let region_add cycles =
+    if on_region <> None then region_acc := !region_acc + cycles
+  in
+  let region_close () =
+    match on_region with
+    | Some hook ->
+        hook ~cycles:!region_acc;
+        region_acc := 0
+    | None -> ()
+  in
   let spend_overhead cycles =
     overhead := !overhead + cycles;
+    region_add cycles;
     ignore (Supply.consume supply ~cycles)
   in
   (* Bind the policy configuration once; the per-instruction loop used
@@ -280,6 +297,9 @@ let run ?(policy = Always_on) ?(engine = Fast)
     st.since_ckpt_cycles <- 0;
     st.since_ckpt_retired <- 0;
     incr checkpoint_count;
+    (* The checkpoint is committed: everything up to and including its
+       overhead is now safe against power loss. *)
+    region_close ();
     match on_checkpoint with
     | Some hook -> hook (Machine.instructions_retired machine)
     | None -> ()
@@ -334,6 +354,9 @@ let run ?(policy = Always_on) ?(engine = Fast)
     | None -> false
   in
   let handle_outage () =
+    (* Power died: this charge's burn window ends here; the restore
+       overhead below opens the next charge's window. *)
+    region_close ();
     incr outage_count;
     ignore (Supply.wait_for_power supply);
     (match clank with
@@ -373,6 +396,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
      access"), so the fast path passes them without allocating. *)
   let post_step ~cycles ~read_addr ~wrote_addr ~wrote_bytes ~was_skm =
     active := !active + cycles;
+    region_add cycles;
     ignore (Supply.consume supply ~cycles);
     (match clank with
     | Some (cfg, st) ->
@@ -386,7 +410,10 @@ let run ?(policy = Always_on) ?(engine = Fast)
         end;
         if wrote_addr >= 0 && wrote_bytes = 4 then
           track cfg st (word_of_addr wrote_addr) write_bit
-    | None -> ());
+    | None ->
+        (* NVP / always-on: every retired instruction commits, so each
+           closes its own burn window. *)
+        region_close ());
     if was_skm then begin
       if !first_skim_active = None then first_skim_active := Some !active;
       if halt_at_skim then
@@ -473,6 +500,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
   in
   match loop () with
   | `Done completed ->
+      region_close ();
       take_snapshot ();
       {
         completed;

@@ -102,6 +102,7 @@ val run :
   ?halt_at_skim:bool ->
   ?on_checkpoint:(int -> unit) ->
   ?on_restore:(int -> unit) ->
+  ?on_region:(cycles:int -> unit) ->
   ?on_step:(unit -> unit) ->
   ?resume:resume_state ->
   ?keyframe_every:int ->
@@ -132,6 +133,21 @@ val run :
     ({!Wn_machine.Machine.set_step_budget}) reaches zero the executor
     clears it and forces an outage ({!Wn_power.Supply.cut}) at that
     exact instruction boundary.
+
+    Region metering: [on_region ~cycles] fires at every
+    power-fail-safe point with the number of cycles burned — execution
+    plus runtime overhead (checkpoint, restore) — since the previous
+    such point.  Safe points are: a Clank checkpoint committing (the
+    window includes the checkpoint's own cycles), power dying (the
+    next window opens with the restore), every retired instruction
+    under NVP or always-on (their state commits continuously), and the
+    run ending.  The maximum reported value is the dynamic quantity
+    the static WCEC verifier's per-charge bound
+    ({!Wn_analysis.Progress.max_region_cycles}) must dominate; the
+    soundness oracle in the test suite checks exactly that.  Windows
+    are metered for from-scratch runs: combining [on_region] with
+    [resume] or [fast_forward] undercounts the first (or skipped)
+    window.
 
     Observation and keyframes: [on_step] fires after every instruction's
     post-step accounting, with the machine's [last_*] scratch accessors

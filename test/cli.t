@@ -47,6 +47,32 @@ parser; a nonsensical integer by the command's own validation:
   wn: --points must be >= 1 (got 0)
   [124]
 
+The forward-progress verifier rejects nonsensical electrical
+parameters the float converter accepts syntactically:
+
+  $ wn verify MatAdd --cap 0
+  wn: --cap must be positive
+  [124]
+
+  $ wn verify MatAdd --v-on 1.8 --v-off 2.3
+  wn: need 0 < --v-off < --v-on
+  [124]
+
+  $ wn verify MatAdd --watchdog 0
+  wn: --watchdog must be >= 1 (got 0)
+  [124]
+
+At the default 10 uF capacitor every suite region fits in one charge;
+with a hopeless 0.01 uF capacitor the same benchmark must fail with
+budget errors and a non-zero exit:
+
+  $ wn verify MatAdd | tail -1
+  clean (no diagnostics)
+
+  $ wn verify MatAdd --cap 0.01 >/dev/null
+  wn: forward-progress verification failed
+  [124]
+
 A tiny end-to-end success case to pin the exit-zero path (2 sampled
 outage points on the smallest kernel, one system, skim off):
 

@@ -216,6 +216,352 @@ let test_war_compiled () =
         (* the failure comes from the verify stage *)
         String.length msg >= 6 && String.sub msg 0 6 = "verify")
 
+(* ---------------- diagnostic ordering and dedup ---------------- *)
+
+let test_diag_total_order () =
+  let base = Diag.warning ~pc:3 ~rule:"r" "m" in
+  let variants =
+    [
+      Diag.warning ~pc:3 ~rule:"r" "m2";
+      Diag.warning ~pc:3 ~rule:"r" ~symbol:"x" "m";
+      Diag.warning ~pc:3 ~rule:"r2" "m";
+    ]
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "distinct diagnostics compare unequal" false
+        (Diag.compare base d = 0))
+    variants;
+  Alcotest.(check int) "equal diagnostics compare equal" 0
+    (Diag.compare base (Diag.warning ~pc:3 ~rule:"r" "m"));
+  (* Sorting is deterministic whatever the input order. *)
+  let l1 = List.sort Diag.compare (base :: variants) in
+  let l2 = List.sort Diag.compare (List.rev (base :: variants)) in
+  Alcotest.(check bool) "sort is order-independent" true (l1 = l2)
+
+let test_diag_report_dedup () =
+  let d = Diag.error ~pc:1 ~rule:"war-hazard" ~symbol:"x" "boom" in
+  let other = Diag.warning ~pc:2 ~rule:"dead-store" "unused" in
+  let report = Format.asprintf "%a" Diag.pp_report [ d; other; d; d ] in
+  (* Three copies of [d] must render once; the summary counts the
+     deduplicated list. *)
+  let count_occurrences needle hay =
+    let n = String.length needle in
+    let rec go i acc =
+      if i + n > String.length hay then acc
+      else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "duplicate printed once" 1
+    (count_occurrences "boom" report);
+  Alcotest.(check bool) "summary counts unique findings" true
+    (count_occurrences "2 diagnostics (1 errors, 1 warnings, 0 notes)" report
+    = 1)
+
+(* ---------------- worklist solver vs the seed's round-robin ----------------
+
+   The reverse-postorder worklist solver must compute exactly the
+   fixpoint the seed's round-robin solver did, on arbitrary CFGs, for
+   arbitrary monotone gen/kill specs, forward and backward. *)
+
+let reference_solve nb spec ~edges_in ~base =
+  let pre = Array.init nb (fun b -> spec.Dataflow.init b) in
+  let post = Array.init nb (fun b -> spec.Dataflow.transfer b pre.(b)) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nb - 1 do
+      let incoming =
+        List.map (fun p -> post.(p)) (edges_in b)
+        @ (if base b then [ spec.Dataflow.init b ] else [])
+      in
+      match incoming with
+      | [] -> ()
+      | v :: rest ->
+          let joined = List.fold_left spec.Dataflow.join v rest in
+          if not (spec.Dataflow.equal joined pre.(b)) then begin
+            pre.(b) <- joined;
+            post.(b) <- spec.Dataflow.transfer b joined;
+            changed := true
+          end
+    done
+  done;
+  (pre, post)
+
+let reference_forward (cfg : Cfg.t) spec =
+  let nb = Array.length cfg.Cfg.blocks in
+  let entry_blocks = List.map (fun e -> cfg.Cfg.block_of.(e)) cfg.Cfg.entries in
+  let base b = cfg.Cfg.pred.(b) = [] || List.mem b entry_blocks in
+  reference_solve nb spec ~edges_in:(fun b -> cfg.Cfg.pred.(b)) ~base
+
+let reference_backward (cfg : Cfg.t) spec =
+  let nb = Array.length cfg.Cfg.blocks in
+  let base b = cfg.Cfg.succ.(b) = [] in
+  let outs, ins =
+    reference_solve nb spec ~edges_in:(fun b -> cfg.Cfg.succ.(b)) ~base
+  in
+  (ins, outs)
+
+(* Random programs with real control flow: straight-line ops, forward
+   and backward conditional branches (loops), calls and skims all arise;
+   a Halt at the end keeps every program well-formed. *)
+let arbitrary_program =
+  let open QCheck.Gen in
+  let instr n =
+    frequency
+      [
+        (4, map2 (fun rd v -> Instr.Mov_imm (r rd, v)) (int_bound 3) (int_bound 100));
+        (3, map (fun rd -> Instr.Alu_imm (Instr.Add, r rd, r rd, 1)) (int_bound 3));
+        (2, map2 (fun rn v -> Instr.Cmp_imm (r rn, v)) (int_bound 3) (int_bound 100));
+        ( 3,
+          map2
+            (fun c t -> Instr.B (c, t))
+            (oneofl [ Cond.Eq; Cond.Ne; Cond.Lt; Cond.Ge; Cond.Al ])
+            (int_bound (n - 1)) );
+        (1, map (fun t -> Instr.Skm t) (int_bound (n - 1)));
+        (1, return Instr.Nop);
+      ]
+  in
+  let gen =
+    int_range 4 40 >>= fun n ->
+    array_size (return (n - 1)) (instr n) >>= fun body ->
+    return (Array.append body [| Instr.Halt |])
+  in
+  QCheck.make gen
+
+(* A deterministic pseudo-random but monotone gen/kill spec over int
+   masks (join = lor), distinct per block.  Boundary values are nonzero
+   only on [base] blocks: chaotic iteration is order-independent only
+   when the starting assignment is below the equations' image, so
+   non-base blocks must start at bottom (0 for lor) — otherwise the two
+   solvers can legitimately settle on different solutions around cycles
+   seeded with arbitrary junk. *)
+let mask_spec ~base () =
+  let h b k = (b * 2654435761 + k * 40503) land 0xFFFF in
+  {
+    Dataflow.init = (fun b -> if base b then h b 7 land 0xFF else 0);
+    transfer = (fun b v -> v land lnot (h b 1) lor h b 2);
+    join = ( lor );
+    equal = Int.equal;
+  }
+
+let forward_base (cfg : Cfg.t) =
+  let entry_blocks = List.map (fun e -> cfg.Cfg.block_of.(e)) cfg.Cfg.entries in
+  fun b -> cfg.Cfg.pred.(b) = [] || List.mem b entry_blocks
+
+let backward_base (cfg : Cfg.t) b = cfg.Cfg.succ.(b) = []
+
+let eq_solutions (a_in, a_out) (b_in, b_out) = a_in = b_in && a_out = b_out
+
+let prop_worklist_matches_reference =
+  QCheck.Test.make ~count:500 ~name:"worklist solver == seed round-robin"
+    arbitrary_program (fun prog ->
+      let cfg = Cfg.build prog in
+      let fwd = mask_spec ~base:(forward_base cfg) () in
+      let bwd = mask_spec ~base:(backward_base cfg) () in
+      eq_solutions (Dataflow.forward cfg fwd) (reference_forward cfg fwd)
+      && eq_solutions (Dataflow.backward cfg bwd) (reference_backward cfg bwd))
+
+let prop_solution_is_fixpoint =
+  QCheck.Test.make ~count:500 ~name:"solution satisfies the dataflow equations"
+    arbitrary_program (fun prog ->
+      let cfg = Cfg.build prog in
+      let spec = mask_spec ~base:(forward_base cfg) () in
+      let ins, outs = Dataflow.forward cfg spec in
+      let nb = Array.length cfg.Cfg.blocks in
+      let entry_blocks =
+        List.map (fun e -> cfg.Cfg.block_of.(e)) cfg.Cfg.entries
+      in
+      let ok = ref true in
+      for b = 0 to nb - 1 do
+        (* out is always transfer of in *)
+        if outs.(b) <> spec.Dataflow.transfer b ins.(b) then ok := false;
+        (* in is the join of incoming outs (plus the boundary value) *)
+        let base = cfg.Cfg.pred.(b) = [] || List.mem b entry_blocks in
+        let incoming =
+          List.map (fun p -> outs.(p)) cfg.Cfg.pred.(b)
+          @ (if base then [ spec.Dataflow.init b ] else [])
+        in
+        (match incoming with
+        | [] -> ()
+        | v :: rest ->
+            if List.fold_left spec.Dataflow.join v rest <> ins.(b) then
+              ok := false)
+      done;
+      !ok)
+
+(* ---------------- interval domain ---------------- *)
+
+(* 0: mov r0, #0        a counted loop with an invariant register and
+   1: mov r1, #5        a data register the analysis can track:
+   2: cmp r0, #10       header/check block
+   3: b.ge 7
+   4: alu r2 <- r0 + r1 loop body
+   5: alu r0 <- r0 + 1
+   6: b 2
+   7: halt *)
+let counted_loop =
+  [|
+    Instr.Mov_imm (r 0, 0);
+    Instr.Mov_imm (r 1, 5);
+    Instr.Cmp_imm (r 0, 10);
+    Instr.B (Cond.Ge, 7);
+    Instr.Alu (Instr.Add, r 2, r 0, r 1);
+    Instr.Alu_imm (Instr.Add, r 0, r 0, 1);
+    Instr.B (Cond.Al, 2);
+    Instr.Halt;
+  |]
+
+let test_interval_basics () =
+  Alcotest.(check bool) "const is itself" true
+    (Interval.itv_equal (Interval.const 7) { Interval.lo = 7; hi = 7 });
+  Alcotest.(check bool) "join spans" true
+    (Interval.itv_equal
+       (Interval.join_itv (Interval.const 2) (Interval.const 9))
+       { Interval.lo = 2; hi = 9 });
+  (* widening jumps a moving bound to the domain edge and is stable on
+     a settled one *)
+  let w =
+    Interval.widen_itv { Interval.lo = 0; hi = 10 } { Interval.lo = 0; hi = 11 }
+  in
+  Alcotest.(check bool) "widen blows the moving hi" true
+    (w.Interval.hi = 0xFFFF_FFFF && w.Interval.lo = 0);
+  Alcotest.(check bool) "widen keeps the stable bound" true
+    (Interval.itv_equal
+       (Interval.widen_itv { Interval.lo = 3; hi = 9 } { Interval.lo = 3; hi = 9 })
+       { Interval.lo = 3; hi = 9 })
+
+let test_interval_analysis () =
+  let cfg = Cfg.build counted_loop in
+  let t = Interval.analyze cfg in
+  (* the loop-invariant register stays a constant through the loop *)
+  Alcotest.(check (option int)) "r1 constant in body" (Some 5)
+    (Interval.is_const (Interval.reg_at t 4 (r 1)));
+  (* the counter keeps its zero lower bound (restores re-enter at 0) *)
+  Alcotest.(check int) "counter lower bound" 0
+    (Interval.reg_at t 4 (r 0)).Interval.lo;
+  (* out-state of the entry block feeds the loop header the exact init *)
+  Alcotest.(check (option int)) "preheader out-state"
+    (Some 0)
+    (Interval.is_const
+       (Interval.reg_out_of_block t cfg.Cfg.block_of.(0) (r 0)))
+
+(* ---------------- trip counts and WCEC ---------------- *)
+
+let trips_of prog =
+  let report = Progress.analyze ~runtime:(Progress.skim_only ()) (Cfg.build prog) in
+  List.map (fun (_, t) -> t) report.Progress.rp_trip_bounds
+
+let test_trip_up_counting () =
+  Alcotest.(check (list (option int))) "i = 0; i < 10; i += 1" [ Some 10 ]
+    (trips_of counted_loop)
+
+let test_trip_down_counting () =
+  let prog =
+    [|
+      Instr.Mov_imm (r 0, 8);
+      Instr.Cmp_imm (r 0, 0);
+      Instr.B (Cond.Le, 6);
+      Instr.Nop;
+      Instr.Alu_imm (Instr.Sub, r 0, r 0, 2);
+      Instr.B (Cond.Al, 1);
+      Instr.Halt;
+    |]
+  in
+  Alcotest.(check (list (option int))) "i = 8; i > 0; i -= 2" [ Some 4 ]
+    (trips_of prog)
+
+let test_trip_ne_loop () =
+  let prog =
+    [|
+      Instr.Mov_imm (r 0, 0);
+      Instr.Cmp_imm (r 0, 6);
+      Instr.B (Cond.Eq, 5);
+      Instr.Alu_imm (Instr.Add, r 0, r 0, 2);
+      Instr.B (Cond.Al, 1);
+      Instr.Halt;
+    |]
+  in
+  Alcotest.(check (list (option int))) "i = 0; i != 6; i += 2" [ Some 3 ]
+    (trips_of prog)
+
+let test_trip_register_step_unbounded () =
+  (* the diamond's counter advances by a register amount: no bound *)
+  Alcotest.(check (list (option int))) "register-step loop" [ None ]
+    (trips_of diamond)
+
+let test_wcec_exact () =
+  (* counted_loop by hand: non-loop pcs 0,1 cost 2 and pc 7 costs 1;
+     loop pcs {2..6} cost 3 (cmp+b.ge) + 4 (alu+alu+b) per iteration,
+     ×11 (10 trips + the final check) = 77; total 80. *)
+  let report =
+    Progress.analyze ~runtime:(Progress.skim_only ()) (Cfg.build counted_loop)
+  in
+  (match report.Progress.rp_total with
+  | Progress.Finite c -> Alcotest.(check int) "whole-program WCEC" 80 c
+  | Progress.Unbounded _ -> Alcotest.fail "expected a finite bound");
+  match report.Progress.rp_regions with
+  | [ rg ] -> (
+      Alcotest.(check int) "one region spans the program" 8 rg.Progress.rg_size;
+      match rg.Progress.rg_capped with
+      | Progress.Finite c ->
+          (* skim-only per-charge bound = restore (40) + raw *)
+          Alcotest.(check int) "per-charge adds the restore" 120 c
+      | Progress.Unbounded _ -> Alcotest.fail "expected a finite region")
+  | l -> Alcotest.failf "expected one region, got %d" (List.length l)
+
+let test_region_partitioning () =
+  (* a skim target splits the program into two regions *)
+  let prog =
+    [|
+      Instr.Mov_imm (r 1, 0x100);
+      Instr.Mov_imm (r 0, 5);
+      Instr.Str { width = Instr.Word; rs = r 0; base = r 1; off = 0 };
+      Instr.Skm 6;
+      Instr.Nop;
+      Instr.Nop;
+      Instr.Halt;
+    |]
+  in
+  let report =
+    Progress.analyze ~runtime:(Progress.skim_only ()) (Cfg.build prog)
+  in
+  match report.Progress.rp_regions with
+  | [ a; b ] ->
+      Alcotest.(check int) "task entry" 0 a.Progress.rg_entry;
+      Alcotest.(check int) "entry region stops at the target" 5
+        a.Progress.rg_last;
+      Alcotest.(check int) "skim region starts at the target" 6
+        b.Progress.rg_entry;
+      Alcotest.(check bool) "kinds" true
+        (a.Progress.rg_kind = Progress.Task_entry
+        && b.Progress.rg_kind = Progress.Skim_target)
+  | l -> Alcotest.failf "expected two regions, got %d" (List.length l)
+
+let test_progress_diagnostics () =
+  (* unbounded loop: a warning naming the binding loop *)
+  let ds = Progress.check ~runtime:(Progress.skim_only ()) (Cfg.build diamond) in
+  Alcotest.(check bool) "unbounded warned" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "progress-unbounded" && d.Diag.severity = Diag.Warning)
+       ds);
+  (* bounded loop but starved budget: an error *)
+  let ds =
+    Progress.check ~runtime:(Progress.skim_only ()) ~budget:100e-9
+      (Cfg.build counted_loop)
+  in
+  Alcotest.(check bool) "over budget errored" true
+    (List.exists
+       (fun d ->
+         d.Diag.rule = "progress-budget" && d.Diag.severity = Diag.Error)
+       ds);
+  (* the same program fits the default capacitor: clean *)
+  Alcotest.(check (list string)) "default budget clean" []
+    (rules (Progress.check ~runtime:(Progress.skim_only ()) (Cfg.build counted_loop)))
+
 (* ---------------- the suite itself must verify clean ---------------- *)
 
 let test_suite_clean () =
@@ -280,6 +626,32 @@ let () =
           Alcotest.test_case "hand-written" `Quick test_war_hand_written;
           Alcotest.test_case "skim-protected" `Quick test_war_skim_protected;
           Alcotest.test_case "compiled strict" `Quick test_war_compiled;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "total order" `Quick test_diag_total_order;
+          Alcotest.test_case "report dedup" `Quick test_diag_report_dedup;
+        ] );
+      ( "dataflow",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_worklist_matches_reference; prop_solution_is_fixpoint ] );
+      ( "interval",
+        [
+          Alcotest.test_case "domain ops" `Quick test_interval_basics;
+          Alcotest.test_case "loop analysis" `Quick test_interval_analysis;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "up-counting trips" `Quick test_trip_up_counting;
+          Alcotest.test_case "down-counting trips" `Quick
+            test_trip_down_counting;
+          Alcotest.test_case "ne-loop trips" `Quick test_trip_ne_loop;
+          Alcotest.test_case "register step unbounded" `Quick
+            test_trip_register_step_unbounded;
+          Alcotest.test_case "exact WCEC" `Quick test_wcec_exact;
+          Alcotest.test_case "region partitioning" `Quick
+            test_region_partitioning;
+          Alcotest.test_case "diagnostics" `Quick test_progress_diagnostics;
         ] );
       ("suite", [ Alcotest.test_case "lints clean" `Quick test_suite_clean ]);
     ]

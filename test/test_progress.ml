@@ -1,0 +1,202 @@
+(* Soundness oracle for the static forward-progress verifier: the
+   per-charge WCEC bound computed by Wn_analysis.Progress must dominate
+   the largest burn window the executor actually meters (via the
+   [on_region] hook) for every suite benchmark, runtime policy and skim
+   configuration — under a supply scripted to force outages at awkward
+   instants.  Plus the seeded "doomed" configuration: a capacitor too
+   small for any region, which the verifier must flag as an error and
+   the simulator must confirm makes no progress. *)
+
+open Wn_machine
+open Wn_runtime
+module Workload = Wn_workloads.Workload
+module Suite = Wn_workloads.Suite
+module Runner = Wn_core.Runner
+module Rng = Wn_util.Rng
+module Progress = Wn_analysis.Progress
+module Compile = Wn_compiler.Compile
+
+let bound_cycles name = function
+  | Progress.Finite c -> c
+  | Progress.Unbounded { binding_loop } ->
+      Alcotest.failf "%s: static WCEC unbounded (loop at pc %d)" name
+        binding_loop
+
+(* Outage instants chosen to land mid-region at several scales; the
+   scripted supply also recovers quickly, so several charge windows are
+   exercised per task. *)
+let outage_script = [ 777; 5_001; 12_345; 44_444; 99_999; 222_222 ]
+
+let policies =
+  [
+    ("clank", Executor.Clank Executor.default_clank, Progress.clank ());
+    ("nvp", Executor.Nvp Executor.default_nvp, Progress.nvp ());
+  ]
+
+let run_metered ~policy ~halt_at_skim b =
+  let w = b.Runner.workload in
+  let m = Runner.machine b in
+  Runner.load_sample b m (w.Workload.fresh_inputs (Rng.create 11));
+  let supply = Wn_power.Supply.scripted ~outages:outage_script () in
+  let max_region = ref 0 in
+  let program = Machine.program m in
+  let outcome =
+    Executor.run ~policy ~halt_at_skim
+      ~on_region:(fun ~cycles -> if cycles > !max_region then max_region := cycles)
+      ~on_step:(fun () ->
+        (* Satellite check: the dynamic latency of every retired
+           instruction stays within the static per-instruction
+           ceiling the WCEC sums are built from. *)
+        let pc = Machine.last_pc m in
+        if Machine.last_cycles m > Machine.worst_case_cycles program.(pc)
+        then
+          Alcotest.failf "pc %d: dynamic %d cycles > static ceiling %d" pc
+            (Machine.last_cycles m)
+            (Machine.worst_case_cycles program.(pc)))
+      ~machine:m ~supply ()
+  in
+  (outcome, !max_region)
+
+let test_static_dominates_dynamic () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = Runner.build w { Workload.bits = 8; provisioned = true } in
+      let report_of runtime = Compile.verify ~runtime b.Runner.compiled in
+      List.iter
+        (fun (pname, policy, runtime) ->
+          let static =
+            bound_cycles
+              (Printf.sprintf "%s/%s" w.Workload.name pname)
+              (Progress.max_region_cycles (report_of runtime))
+          in
+          List.iter
+            (fun halt_at_skim ->
+              let outcome, dynamic = run_metered ~policy ~halt_at_skim b in
+              let name =
+                Printf.sprintf "%s/%s%s" w.Workload.name pname
+                  (if halt_at_skim then "/skim" else "")
+              in
+              Alcotest.(check bool) (name ^ ": completed") true
+                outcome.Executor.completed;
+              if dynamic > static then
+                Alcotest.failf
+                  "%s: measured region of %d cycles exceeds static bound %d"
+                  name dynamic static)
+            [ false; true ])
+        policies)
+    (Suite.extended Workload.Small)
+
+(* The whole-program WCEC is also a sound bound on a single task's
+   total active+overhead cycles under continuous power. *)
+let test_total_dominates_always_on () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = Runner.build w { Workload.bits = 8; provisioned = true } in
+      let report =
+        Compile.verify ~runtime:(Progress.skim_only ()) b.Runner.compiled
+      in
+      let total =
+        bound_cycles (w.Workload.name ^ ": total") report.Progress.rp_total
+      in
+      let m = Runner.machine b in
+      Runner.load_sample b m (w.Workload.fresh_inputs (Rng.create 23));
+      let outcome =
+        Executor.run ~machine:m ~supply:(Wn_power.Supply.always_on ()) ()
+      in
+      Alcotest.(check bool) (w.Workload.name ^ ": completed") true
+        outcome.Executor.completed;
+      if outcome.Executor.active_cycles > total then
+        Alcotest.failf "%s: ran %d active cycles, static total %d"
+          w.Workload.name outcome.Executor.active_cycles total)
+    (Suite.extended Workload.Small)
+
+(* Doomed configuration: a 0.01 µF capacitor stores ~10 nJ between
+   V_on and V_off — less than Clank's 40-cycle restore alone.  The
+   verifier must report a budget error on every region, and the
+   simulator must confirm the device spins on restores without ever
+   completing a checkpoint or the task. *)
+let doomed_capacitor () =
+  Wn_power.Capacitor.create ~capacitance:0.01e-6 ~v_on:2.3 ~v_off:1.8 ()
+
+let test_doomed_config_static () =
+  let w = Suite.find_opt Workload.Small "MatAdd" |> Option.get in
+  let b = Runner.build w { Workload.bits = 8; provisioned = true } in
+  let budget = Wn_power.Capacitor.restart_budget (doomed_capacitor ()) in
+  Alcotest.(check bool) "budget below one restore" true
+    (budget < 40.0 *. Wn_analysis.Energy.default_cycle_energy);
+  let diags =
+    Wn_analysis.Progress.diagnostics
+      (Compile.verify ~runtime:(Progress.clank ()) ~budget b.Runner.compiled)
+  in
+  Alcotest.(check bool) "budget error reported" true
+    (List.exists
+       (fun d ->
+         d.Wn_analysis.Diag.rule = "progress-budget"
+         && d.Wn_analysis.Diag.severity = Wn_analysis.Diag.Error)
+       diags)
+
+let test_doomed_config_dynamic () =
+  let w = Suite.find_opt Workload.Small "MatAdd" |> Option.get in
+  let b = Runner.build w { Workload.bits = 8; provisioned = true } in
+  let m = Runner.machine b in
+  Runner.load_sample b m (w.Workload.fresh_inputs (Rng.create 3));
+  let supply =
+    Wn_power.Supply.create
+      ~trace:(Wn_power.Trace.constant ~power:1e-3 ~duration_s:1.0)
+      ~capacitor:(doomed_capacitor ()) ~start_full:false ()
+  in
+  let outcome =
+    Executor.run
+      ~policy:(Executor.Clank Executor.default_clank)
+      ~max_wall_cycles:5_000_000 ~machine:m ~supply ()
+  in
+  Alcotest.(check bool) "never completes" false outcome.Executor.completed;
+  Alcotest.(check int) "no checkpoint ever commits" 0
+    outcome.Executor.checkpoint_count;
+  Alcotest.(check bool) "it is outages all the way down" true
+    (outcome.Executor.outage_count > 0)
+
+(* The static runtime models must stay in lockstep with the executor's
+   default configurations (the analysis library cannot depend on the
+   runtime library, so the constants are mirrored). *)
+let test_runtime_defaults_lockstep () =
+  let c = Progress.clank () in
+  Alcotest.(check int) "clank watchdog"
+    Executor.default_clank.Executor.watchdog_period
+    (Option.get c.Progress.rt_watchdog_period);
+  Alcotest.(check int) "clank checkpoint"
+    Executor.default_clank.Executor.checkpoint_cycles
+    c.Progress.rt_checkpoint_cycles;
+  Alcotest.(check int) "clank restore"
+    Executor.default_clank.Executor.clank_restore_cycles
+    c.Progress.rt_restore_cycles;
+  let n = Progress.nvp () in
+  Alcotest.(check int) "nvp restore"
+    Executor.default_nvp.Executor.nvp_restore_cycles
+    n.Progress.rt_restore_cycles;
+  Alcotest.(check bool) "nvp commits per instruction" true
+    n.Progress.rt_per_instruction
+
+let () =
+  Alcotest.run "wn.progress"
+    [
+      ( "soundness",
+        [
+          Alcotest.test_case "static region bound dominates measured" `Quick
+            test_static_dominates_dynamic;
+          Alcotest.test_case "whole-program bound dominates always-on" `Quick
+            test_total_dominates_always_on;
+        ] );
+      ( "doomed",
+        [
+          Alcotest.test_case "verifier flags the tiny capacitor" `Quick
+            test_doomed_config_static;
+          Alcotest.test_case "simulator confirms no progress" `Quick
+            test_doomed_config_dynamic;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "defaults match the executor" `Quick
+            test_runtime_defaults_lockstep;
+        ] );
+    ]

@@ -1,0 +1,58 @@
+(* Prints the WCEC-vs-measured table in EXPERIMENTS.md: for every suite
+   benchmark, the static per-charge bound under Clank and NVP next to
+   the largest burn window the executor actually meters under a supply
+   scripted to force outages at awkward instants.  Regenerate with
+   [dune exec test/wcec_table.exe]. *)
+
+open Wn_runtime
+module Workload = Wn_workloads.Workload
+module Suite = Wn_workloads.Suite
+module Runner = Wn_core.Runner
+module Rng = Wn_util.Rng
+module Progress = Wn_analysis.Progress
+module Compile = Wn_compiler.Compile
+
+let outage_script = [ 777; 5_001; 12_345; 44_444; 99_999; 222_222 ]
+
+let measured ~policy b =
+  let w = b.Runner.workload in
+  let m = Runner.machine b in
+  Runner.load_sample b m (w.Workload.fresh_inputs (Rng.create 11));
+  let supply = Wn_power.Supply.scripted ~outages:outage_script () in
+  let max_region = ref 0 in
+  let outcome =
+    Executor.run ~policy
+      ~on_region:(fun ~cycles ->
+        if cycles > !max_region then max_region := cycles)
+      ~machine:m ~supply ()
+  in
+  assert outcome.Executor.completed;
+  !max_region
+
+let bound = function
+  | Progress.Finite c -> string_of_int c
+  | Progress.Unbounded _ -> "unbounded"
+
+let () =
+  Printf.printf
+    "| benchmark | whole-program WCEC | Clank bound | Clank measured | NVP \
+     bound | NVP measured |\n";
+  Printf.printf "|---|---:|---:|---:|---:|---:|\n";
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = Runner.build w { Workload.bits = 8; provisioned = true } in
+      let report rt = Compile.verify ~runtime:rt b.Runner.compiled in
+      let static rt =
+        bound (Progress.max_region_cycles (report rt))
+      in
+      let clank_meas =
+        measured ~policy:(Executor.Clank Executor.default_clank) b
+      in
+      let nvp_meas = measured ~policy:(Executor.Nvp Executor.default_nvp) b in
+      Printf.printf "| %s | %s | %s | %d | %s | %d |\n" w.Workload.name
+        (bound (report (Progress.skim_only ())).Progress.rp_total)
+        (static (Progress.clank ()))
+        clank_meas
+        (static (Progress.nvp ()))
+        nvp_meas)
+    (Suite.extended Workload.Small)
