@@ -58,6 +58,7 @@ let solve ?widen ?(widen_delay = 2) nb spec ~edges_in ~edges_out ~order ~base =
           widen_point.(b) <- true
       done);
   let visits = Array.make nb 0 in
+  let seen = Array.make nb false in
   let in_queue = Array.make nb false in
   let queue = Queue.create () in
   let push b =
@@ -70,7 +71,9 @@ let solve ?widen ?(widen_delay = 2) nb spec ~edges_in ~edges_out ~order ~base =
   while not (Queue.is_empty queue) do
     let b = Queue.pop queue in
     in_queue.(b) <- false;
-    visits.(b) <- visits.(b) + 1;
+    (* The initial seeding pass pops every block once; only genuine
+       re-visits count toward the widening delay. *)
+    if seen.(b) then visits.(b) <- visits.(b) + 1 else seen.(b) <- true;
     let incoming =
       List.map (fun p -> post.(p)) (edges_in b)
       @ (if base b then [ spec.init b ] else [])

@@ -31,7 +31,11 @@ let sub_itv a b =
   if a.lo - b.hi < 0 then top else { lo = a.lo - b.hi; hi = a.hi - b.lo }
 
 let mul_itv a b =
-  if a.hi * b.hi > u32_max then top else { lo = a.lo * b.lo; hi = a.hi * b.hi }
+  (* The division guard avoids computing a.hi * b.hi when it would
+     exceed the native int range (u32_max^2 > 2^62 wraps negative and
+     would slip past a plain [> u32_max] check). *)
+  if b.hi <> 0 && a.hi > u32_max / b.hi then top
+  else { lo = a.lo * b.lo; hi = a.hi * b.hi }
 
 (* Smallest all-ones mask covering v: OR/EOR results never exceed it. *)
 let bits_mask v =
@@ -48,7 +52,11 @@ let alu_itv (op : Instr.alu_op) a b =
 
 let shift_itv (op : Instr.shift_op) a k =
   match op with
-  | Lsl -> if a.hi lsl k > u32_max then top else { lo = a.lo lsl k; hi = a.hi lsl k }
+  | Lsl ->
+      (* Checked without shifting: [a.hi lsl k] for k near 32 wraps the
+         native int negative, which a plain [> u32_max] test misses. *)
+      if k >= 32 || a.hi > u32_max lsr k then top
+      else { lo = a.lo lsl k; hi = a.hi lsl k }
   | Lsr -> { lo = a.lo lsr k; hi = a.hi lsr k }
   | Asr ->
       (* Negative patterns shift in ones; only the non-negative range is

@@ -18,6 +18,9 @@ open Wn_isa
 type itv = { lo : int; hi : int }
 (** Invariant: [0 <= lo <= hi <= 0xFFFF_FFFF]. *)
 
+val u32_max : int
+(** [0xFFFF_FFFF], the domain's upper bound. *)
+
 val top : itv
 val const : int -> itv
 

@@ -88,6 +88,7 @@ let negate_cond (c : Cond.t) =
 let ceil_div a b = (a + b - 1) / b
 
 let signed_max = 0x8000_0000 (* exclusive bound for "fits signed compare" *)
+let u32_max = Interval.u32_max
 
 (* Worst-case iteration count of one natural loop (executions of any
    member per entry of the loop), or [None] when no sound static bound
@@ -214,7 +215,10 @@ let loop_trip_bound (cfg : Cfg.t) itv ~skim_target_pcs (header, member_pcs) =
           Some (max 0 (ceil_div (l_hi - i_lo) step))
       | Cond.Le when i_hi < signed_max && l_hi + 1 < signed_max ->
           Some (max 0 (ceil_div (l_hi + 1 - i_lo) step))
-      | Cond.Lo -> Some (max 0 (ceil_div (l_hi - i_lo) step))
+      | Cond.Lo when l_hi - 1 + step <= u32_max ->
+          (* Without the guard, a counter at limit-1 with step > 1 can
+             wrap past a limit near u32_max and never exit. *)
+          Some (max 0 (ceil_div (l_hi - i_lo) step))
       | Cond.Ne
         when i_lo = i_hi && l_lo = l_hi && l_lo >= i_lo
              && (l_lo - i_lo) mod step = 0 ->

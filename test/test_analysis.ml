@@ -392,6 +392,46 @@ let prop_solution_is_fixpoint =
       done;
       !ok)
 
+(* Widening delay counts genuine re-visits only — the initial seeding
+   pass over every block must not eat into it (regression: it did, so a
+   chain stabilising within the documented delay still got widened). *)
+let test_widen_delay_counts_revisits () =
+  (* block structure: [0] -> [1;2] (self-loop via b.lt) -> [3] *)
+  let prog =
+    [| Instr.Nop; Instr.Nop; Instr.B (Cond.Lt, 1); Instr.Halt |]
+  in
+  let cfg = Cfg.build prog in
+  let loop_blk = cfg.Cfg.block_of.(1) in
+  (* int-option chain domain: the loop's value climbs by 1 per revisit
+     and saturates at 2, i.e. it stabilises on exactly the second
+     genuine revisit — inside a widen_delay of 2, so classic widening
+     (old on no-growth, sentinel on growth) must never fire. *)
+  let spec =
+    {
+      Dataflow.init = (fun b -> if b = cfg.Cfg.block_of.(0) then Some 0 else None);
+      transfer =
+        (fun b v ->
+          match v with
+          | Some x when b = loop_blk -> Some (min (x + 1) 2)
+          | _ -> v);
+      join =
+        (fun a b ->
+          match (a, b) with
+          | None, x | x, None -> x
+          | Some a, Some b -> Some (max a b));
+      equal = ( = );
+    }
+  in
+  let widen old next =
+    match (old, next) with
+    | Some o, Some n when n > o -> Some 999
+    | _ -> old
+  in
+  let ins, _ = Dataflow.forward ~widen ~widen_delay:2 cfg spec in
+  Alcotest.(check (option int))
+    "value stabilising within the delay is not widened" (Some 2)
+    ins.(loop_blk)
+
 (* ---------------- interval domain ---------------- *)
 
 (* 0: mov r0, #0        a counted loop with an invariant register and
@@ -448,6 +488,40 @@ let test_interval_analysis () =
     (Interval.is_const
        (Interval.reg_out_of_block t cfg.Cfg.block_of.(0) (r 0)))
 
+let test_interval_overflow_to_top () =
+  (* Products and shifts whose native-int result exceeds 2^62 must go
+     to top, not wrap negative past the range check (regression: the
+     broken intervals then passed trip-bound guards and produced
+     unsound WCEC bounds). *)
+  let ldr rd =
+    Instr.Ldr { width = Instr.Word; signed = false; rd; base = r 12; off = 0 }
+  in
+  let prog =
+    [|
+      ldr (r 0);
+      ldr (r 1);
+      Instr.Mul (r 2, r 0, r 1);
+      Instr.Shift (Instr.Lsl, r 3, r 0, 31);
+      Instr.Mov_imm (r 4, 3);
+      Instr.Shift (Instr.Lsl, r 5, r 4, 4);
+      Instr.Halt;
+    |]
+  in
+  let t = Interval.analyze (Cfg.build prog) in
+  let check_valid name v =
+    Alcotest.(check bool) (name ^ ": 0 <= lo <= hi <= u32_max") true
+      (0 <= v.Interval.lo && v.Interval.lo <= v.Interval.hi
+     && v.Interval.hi <= Interval.u32_max)
+  in
+  let at pc reg = Interval.reg_at t pc reg in
+  Alcotest.(check bool) "top * top = top" true (Interval.is_top (at 3 (r 2)));
+  check_valid "top * top" (at 3 (r 2));
+  Alcotest.(check bool) "top lsl 31 = top" true (Interval.is_top (at 4 (r 3)));
+  check_valid "top lsl 31" (at 4 (r 3));
+  (* small shifts stay exact — the overflow guard must not over-approximate *)
+  Alcotest.(check (option int)) "3 lsl 4 stays const" (Some 48)
+    (Interval.is_const (at 6 (r 5)))
+
 (* ---------------- trip counts and WCEC ---------------- *)
 
 let trips_of prog =
@@ -486,6 +560,33 @@ let test_trip_ne_loop () =
   in
   Alcotest.(check (list (option int))) "i = 0; i != 6; i += 2" [ Some 3 ]
     (trips_of prog)
+
+let lo_loop ~limit ~step =
+  [|
+    Instr.Mov_imm (r 0, 0);
+    Instr.Cmp_imm (r 0, limit);
+    Instr.B (Cond.Hs, 5);
+    Instr.Alu_imm (Instr.Add, r 0, r 0, step);
+    Instr.B (Cond.Al, 1);
+    Instr.Halt;
+  |]
+
+let test_trip_lo_wraparound () =
+  (* with step 3 and limit u32_max the counter can jump from
+     0xFFFF_FFFE past the limit, wrap, and never satisfy the unsigned
+     exit — no finite bound exists (regression: the Lo case returned
+     one anyway) *)
+  Alcotest.(check (list (option int)))
+    "i = 0; i <u 0xFFFF_FFFF; i += 3 may never exit" [ None ]
+    (trips_of (lo_loop ~limit:0xFFFF_FFFF ~step:3));
+  (* step 1 cannot skip the limit, so the guard must still admit it *)
+  Alcotest.(check (list (option int)))
+    "i = 0; i <u 0xFFFF_FFFF; i += 1 is bounded" [ Some 0xFFFF_FFFF ]
+    (trips_of (lo_loop ~limit:0xFFFF_FFFF ~step:1));
+  (* and small limits keep their exact bound whatever the step *)
+  Alcotest.(check (list (option int)))
+    "i = 0; i <u 10; i += 3" [ Some 4 ]
+    (trips_of (lo_loop ~limit:10 ~step:3))
 
 let test_trip_register_step_unbounded () =
   (* the diamond's counter advances by a register amount: no bound *)
@@ -633,12 +734,16 @@ let () =
           Alcotest.test_case "report dedup" `Quick test_diag_report_dedup;
         ] );
       ( "dataflow",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_worklist_matches_reference; prop_solution_is_fixpoint ] );
+        Alcotest.test_case "widen delay counts revisits" `Quick
+          test_widen_delay_counts_revisits
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_worklist_matches_reference; prop_solution_is_fixpoint ] );
       ( "interval",
         [
           Alcotest.test_case "domain ops" `Quick test_interval_basics;
           Alcotest.test_case "loop analysis" `Quick test_interval_analysis;
+          Alcotest.test_case "overflow goes to top" `Quick
+            test_interval_overflow_to_top;
         ] );
       ( "progress",
         [
@@ -646,6 +751,8 @@ let () =
           Alcotest.test_case "down-counting trips" `Quick
             test_trip_down_counting;
           Alcotest.test_case "ne-loop trips" `Quick test_trip_ne_loop;
+          Alcotest.test_case "lo wraparound guard" `Quick
+            test_trip_lo_wraparound;
           Alcotest.test_case "register step unbounded" `Quick
             test_trip_register_step_unbounded;
           Alcotest.test_case "exact WCEC" `Quick test_wcec_exact;
