@@ -6,6 +6,7 @@
      wn curve BENCH ...           runtime-quality curve as CSV
      wn figure ID ...             regenerate a table/figure of the paper
      wn inject BENCH ...          outage-point fault-injection sweep
+     wn fleet BENCH ...           fleet-scale deployment simulation
      wn disasm BENCH ...          show the compiled WN-32 program
      wn lint BENCH ...            static verification of the compiled program
      wn verify BENCH ...          static forward-progress (WCEC) verification
@@ -38,6 +39,12 @@ let jobs_arg =
     value
     & opt int (Wn_exec.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit machine-readable JSON instead of the human report.")
 
 let bench_arg =
   Arg.(
@@ -422,6 +429,138 @@ let inject_cmd =
        $ inject_seed_arg $ exhaustive_arg $ inj_system_arg $ inj_skim_arg
        $ differential_arg $ keyframe_arg $ jobs_arg))
 
+(* ---------------- wn fleet ---------------- *)
+
+let fleet_cmd =
+  let benches_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Benchmark name(s); devices take configurations from the \
+             benchmark x system x bits cross product round-robin.")
+  in
+  let devices_arg =
+    Arg.(
+      value & opt int Wn_fleet.Fleet.default.Wn_fleet.Fleet.devices
+      & info [ "devices" ] ~docv:"N" ~doc:"Fleet size (>= 1).")
+  in
+  let fleet_system_arg =
+    let sys_conv =
+      Arg.enum [ ("clank", `Clank); ("nvp", `Nvp); ("both", `Both) ]
+    in
+    Arg.(
+      value & opt sys_conv `Clank
+      & info [ "system" ] ~docv:"SYS"
+          ~doc:"Runtime model(s): $(b,clank), $(b,nvp) or $(b,both).")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Input samples streamed through each device (>= 1).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Units per scheduled batch (0 = auto, ~256 batches).  The \
+             batch partition — not the pool width — defines the \
+             aggregation order, so reports are byte-identical at any \
+             $(b,--jobs) for a fixed $(docv).")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "cap" ] ~docv:"UF" ~doc:"Per-device capacitance in microfarads.")
+  in
+  let sketch_arg =
+    Arg.(
+      value & opt int Wn_fleet.Fleet.default.Wn_fleet.Fleet.sketch_capacity
+      & info [ "sketch-capacity" ] ~docv:"K"
+          ~doc:"Percentile-sketch buffer capacity (>= 8).")
+  in
+  let run benches scale bits system devices samples batch cap_uf sketch
+      trace_name seed json jobs =
+    let* jobs = require_positive "jobs" jobs in
+    let* devices = require_positive "devices" devices in
+    let* samples = require_positive "samples" samples in
+    let* batch = require_non_negative "batch" batch in
+    let* seed = require_non_negative "seed" seed in
+    let* () =
+      if sketch >= 8 then Ok ()
+      else Error (`Msg (Printf.sprintf "--sketch-capacity must be >= 8 (got %d)" sketch))
+    in
+    let* () =
+      if cap_uf > 0.0 then Ok () else Error (`Msg "--cap must be positive")
+    in
+    let* trace_class =
+      match Wn_fleet.Fleet.trace_class_of_string trace_name with
+      | Some t -> Ok t
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown trace %S (know: rf, square, constant)"
+                  trace_name))
+    in
+    let rec find_all = function
+      | [] -> Ok []
+      | b :: rest -> (
+          match find_bench scale b with
+          | Error e -> Error e
+          | Ok w -> Result.map (fun ws -> w.Workload.name :: ws) (find_all rest))
+    in
+    let* benchmarks = find_all benches in
+    let systems =
+      match system with
+      | `Clank -> [ Wn_core.Intermittent.Clank ]
+      | `Nvp -> [ Wn_core.Intermittent.Nvp ]
+      | `Both -> [ Wn_core.Intermittent.Clank; Wn_core.Intermittent.Nvp ]
+    in
+    catch_compile_error @@ fun () ->
+    let descriptor =
+      {
+        Wn_fleet.Fleet.default with
+        Wn_fleet.Fleet.devices;
+        benchmarks;
+        systems;
+        bits_list = [ bits ];
+        scale;
+        samples_per_device = samples;
+        trace_class;
+        seed;
+        capacitance = cap_uf *. 1e-6;
+        batch;
+        sketch_capacity = sketch;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = Wn_fleet.Fleet.run ~jobs descriptor in
+    let dt = Unix.gettimeofday () -. t0 in
+    (* Wall time and throughput go to stderr so stdout stays
+       byte-identical across --jobs values. *)
+    Printf.eprintf "[fleet: %d units in %.2fs, %.0f units/s, %d jobs]\n%!"
+      report.Wn_fleet.Fleet.units dt
+      (float_of_int report.Wn_fleet.Fleet.units /. Float.max dt 1e-9)
+      jobs;
+    if json then print_string (Wn_fleet.Fleet.to_json report)
+    else Format.printf "%a@?" Wn_fleet.Fleet.pp report;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate a deployment of N intermittent devices and report \
+          fleet-level quality/energy/outage/on-time distributions from \
+          bounded-memory streaming aggregation")
+    Term.(
+      term_result
+        (const run $ benches_arg $ scale_arg $ bits_arg $ fleet_system_arg
+       $ devices_arg $ samples_arg $ batch_arg $ cap_arg $ sketch_arg
+       $ trace_arg $ seed_arg $ json_arg $ jobs_arg))
+
 (* ---------------- wn disasm / wn source ---------------- *)
 
 let build_compiled bench scale bits precise =
@@ -457,12 +596,6 @@ let disasm_cmd =
     Term.(
       term_result
         (const run $ bench_arg $ scale_arg $ bits_arg $ precise_arg))
-
-let json_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ]
-        ~doc:"Emit machine-readable JSON instead of the human report.")
 
 let lint_cmd =
   let strict_arg =
@@ -622,5 +755,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; curve_cmd; figure_cmd; inject_cmd; disasm_cmd;
-            lint_cmd; verify_cmd; source_cmd ]))
+          [ list_cmd; run_cmd; curve_cmd; figure_cmd; inject_cmd; fleet_cmd;
+            disasm_cmd; lint_cmd; verify_cmd; source_cmd ]))

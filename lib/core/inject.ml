@@ -40,10 +40,7 @@ type report = {
   violations : (int * string) list;
 }
 
-let policy_of config =
-  match config.system with
-  | Intermittent.Clank -> Executor.Clank Executor.default_clank
-  | Intermittent.Nvp -> Executor.Nvp Executor.default_nvp
+let policy_of config = Intermittent.policy config.system
 
 (* The scenario shares one compiled build and one input sample across
    all injected runs (both immutable once made); each [fresh] call

@@ -43,29 +43,43 @@ let paper_setup =
 
 let name_hash s = String.fold_left (fun acc c -> (acc * 31) + Char.code c) 0 s
 
+let policy ?(clank = Executor.default_clank) = function
+  | Clank -> Executor.Clank clank
+  | Nvp -> Executor.Nvp Executor.default_nvp
+
 type task_measure = {
   wall : int;
+  active : int;
+  overhead : int;
   out : float array;
   skimmed : bool;
   outages : int;
   reexec_frac : float;
+  energy_j : float;
   ok : bool;
 }
 
 (* Process a stream of pre-generated samples on one supply; the
-   capacitor state carries over between samples, as on a real device. *)
-let run_stream ~cycle_energy build policy trace samples =
-  let supply =
-    Wn_power.Supply.create ~cycle_energy ~trace
-      ~capacitor:(Wn_power.Capacitor.create ()) ()
+   capacitor state carries over between samples, as on a real device.
+   This is the per-device unit runner: the figure drivers here and the
+   fleet driver (wn.fleet) both build on it. *)
+let run_stream ?capacitor ~cycle_energy build policy trace samples =
+  let capacitor =
+    match capacitor with
+    | Some c -> c
+    | None -> Wn_power.Capacitor.create ()
   in
+  let supply = Wn_power.Supply.create ~cycle_energy ~trace ~capacitor () in
   let machine = Runner.machine build in
   List.map
     (fun inputs ->
       Runner.load_sample build machine inputs;
+      let e0 = Wn_power.Supply.energy_consumed supply in
       let o = Executor.run ~policy ~machine ~supply () in
       {
         wall = o.Executor.wall_cycles;
+        active = o.Executor.active_cycles;
+        overhead = o.Executor.overhead_cycles;
         out = Runner.output build machine;
         skimmed = o.Executor.skimmed;
         outages = o.Executor.outage_count;
@@ -74,6 +88,7 @@ let run_stream ~cycle_energy build policy trace samples =
            else
              float_of_int o.Executor.reexecuted_instructions
              /. float_of_int o.Executor.retired);
+        energy_j = Wn_power.Supply.energy_consumed supply -. e0;
         ok = o.Executor.completed;
       })
     samples
@@ -152,11 +167,7 @@ let run ?(jobs = 1) ?(setup = default_setup) ~system ~bits (w : Workload.t) =
   let cfg = { Workload.bits; provisioned = true } in
   let anytime = Runner.build w cfg in
   let precise = Runner.build ~precise:true w cfg in
-  let policy =
-    match system with
-    | Clank -> Executor.Clank setup.clank_config
-    | Nvp -> Executor.Nvp Executor.default_nvp
-  in
+  let policy = policy ~clank:setup.clank_config system in
   let traces =
     Wn_power.Trace.paper_suite ~count:setup.n_traces ~seed:setup.trace_seed
       ~duration_s:60.0 ()

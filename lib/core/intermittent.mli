@@ -15,6 +15,41 @@ type system = Clank | Nvp
 
 val system_name : system -> string
 
+val policy :
+  ?clank:Wn_runtime.Executor.clank_config ->
+  system ->
+  Wn_runtime.Executor.policy
+(** The executor policy for a system model ([?clank] overrides the
+    Clank tuning; NVP always uses the default wake-up latency). *)
+
+type task_measure = {
+  wall : int;  (** wall-clock cycles, off-time included *)
+  active : int;  (** cycles spent executing instructions *)
+  overhead : int;  (** checkpoint + restore cycles *)
+  out : float array;  (** decoded output at task end *)
+  skimmed : bool;
+  outages : int;
+  reexec_frac : float;  (** fraction of retired work that was rollback re-execution *)
+  energy_j : float;  (** joules drained from the supply by this task *)
+  ok : bool;  (** task ran to completion (possibly via skim) *)
+}
+
+val run_stream :
+  ?capacitor:Wn_power.Capacitor.t ->
+  cycle_energy:float ->
+  Runner.build ->
+  Wn_runtime.Executor.policy ->
+  Wn_power.Trace.t ->
+  (string * int array) list list ->
+  task_measure list
+(** The per-device unit runner: process a stream of pre-generated input
+    samples on one fresh machine under one harvesting supply (the
+    capacitor state carries over between samples, as on a real device).
+    Pure in its arguments — the machine, supply and capacitor are built
+    inside — so any number of streams can run on pool domains sharing
+    one immutable [Runner.build].  Used by the figure drivers here and
+    by the fleet driver ({!Wn_fleet.Fleet} in lib/fleet). *)
+
 type result = {
   workload : string;
   bits : int;

@@ -16,7 +16,7 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
-let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 let rec worker t =
   Mutex.lock t.mutex;
@@ -119,6 +119,27 @@ let run t f xs =
       | None -> ());
       Array.to_list
         (Array.map (function Some r -> r | None -> assert false) results)
+
+(* Batch scheduler: one queued thunk per contiguous chunk instead of
+   one per element.  Workers pull whole chunks off the shared queue, so
+   load balancing stays dynamic (a slow chunk does not hold up the
+   others) while the per-task queue synchronisation is amortised over
+   [batch] elements — the fleet driver feeds hundreds of thousands of
+   units through here.  Results come back in chunk order, so the
+   partition (and therefore any order-sensitive aggregation of the
+   chunk results) is a function of [batch] alone, never of the pool
+   width. *)
+let map_batches t ~batch f xs =
+  if batch < 1 then invalid_arg "Pool.map_batches: batch must be >= 1";
+  let n = Array.length xs in
+  if n = 0 then []
+  else
+    let n_batches = (n + batch - 1) / batch in
+    let chunk b =
+      let lo = b * batch in
+      Array.sub xs lo (min batch (n - lo))
+    in
+    run t (fun b -> f (chunk b)) (List.init n_batches Fun.id)
 
 let map ~jobs f xs =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1"

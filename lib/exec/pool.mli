@@ -19,9 +19,10 @@ type t
     domain; a pool must be {!shutdown} exactly once. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()] capped at 8 — experiment
-    batches rarely have more than a dozen units in flight, and the
-    simulations are memory-bound beyond that. *)
+(** [Domain.recommended_domain_count ()] (at least 1).  Uncapped: the
+    fleet driver keeps tens of thousands of units in flight, so the
+    former cap of 8 left larger machines mostly idle.  Callers that
+    want fewer domains pass [~jobs] explicitly. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (none for
@@ -40,6 +41,18 @@ val run : t -> ('a -> 'b) -> 'a list -> 'b list
     completion order) is re-raised in the caller with its backtrace
     once the batch has drained; remaining queued tasks of the batch
     are skipped. *)
+
+val map_batches : t -> batch:int -> ('a array -> 'b) -> 'a array -> 'b list
+(** [map_batches t ~batch f xs] splits [xs] into contiguous chunks of
+    [batch] elements (the last may be shorter) and applies [f] to each
+    chunk on the pool, returning chunk results {e in chunk order}.
+    Chunks are pulled dynamically off the shared queue, so load
+    balancing is per-chunk while queue synchronisation is amortised
+    over [batch] elements.  The partition depends only on [batch] and
+    [Array.length xs] — never on the pool width — which is what lets an
+    order-sensitive fold of the chunk results (e.g. merging streaming
+    aggregates) stay bit-identical at any [jobs].  Raises
+    [Invalid_argument] if [batch < 1]. *)
 
 val shutdown : t -> unit
 (** Joins all worker domains.  Idempotent. *)

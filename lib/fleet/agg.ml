@@ -1,0 +1,100 @@
+module Moments = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; lo = Float.nan; hi = Float.nan }
+
+  (* Welford's online update: numerically stable, no sample retained. *)
+  let add t x =
+    t.n <- t.n + 1;
+    let d = x -. t.mean in
+    t.mean <- t.mean +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.mean));
+    if t.n = 1 then begin
+      t.lo <- x;
+      t.hi <- x
+    end
+    else begin
+      if x < t.lo then t.lo <- x;
+      if x > t.hi then t.hi <- x
+    end
+
+  (* Chan et al.'s pairwise combination. *)
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else
+      let n = a.n + b.n in
+      let fa = float_of_int a.n and fb = float_of_int b.n in
+      let d = b.mean -. a.mean in
+      {
+        n;
+        mean = a.mean +. (d *. fb /. float_of_int n);
+        m2 = a.m2 +. b.m2 +. (d *. d *. fa *. fb /. float_of_int n);
+        lo = Float.min a.lo b.lo;
+        hi = Float.max a.hi b.hi;
+      }
+
+  let count t = t.n
+  let mean t = if t.n = 0 then Float.nan else t.mean
+  let variance t = if t.n = 0 then Float.nan else t.m2 /. float_of_int t.n
+  let min t = t.lo
+  let max t = t.hi
+end
+
+type metric = { moments : Moments.t; sketch : Sketch.t }
+
+let metric ?capacity () =
+  { moments = Moments.create (); sketch = Sketch.create ?capacity () }
+
+let observe m x =
+  Moments.add m.moments x;
+  Sketch.insert m.sketch x
+
+let merge a b =
+  {
+    moments = Moments.merge a.moments b.moments;
+    sketch = Sketch.merge a.sketch b.sketch;
+  }
+
+let count m = Moments.count m.moments
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  rank_err : int;
+}
+
+let summarize m =
+  let n = Moments.count m.moments in
+  let q p = if n = 0 then Float.nan else Sketch.quantile m.sketch p in
+  {
+    n;
+    mean = Moments.mean m.moments;
+    stddev = (if n = 0 then Float.nan else sqrt (Moments.variance m.moments));
+    min = Moments.min m.moments;
+    max = Moments.max m.moments;
+    p50 = q 50.0;
+    p90 = q 90.0;
+    p99 = q 99.0;
+    rank_err = Sketch.rank_error_bound m.sketch;
+  }
+
+let pp_summary ppf s =
+  if s.n = 0 then Format.fprintf ppf "(no samples)"
+  else
+    Format.fprintf ppf
+      "mean %.4f  sd %.4f  min %.4f  p50 %.4f  p90 %.4f  p99 %.4f  max %.4f"
+      s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,57 @@
+(** Bounded-memory streaming aggregation for fleet metrics.
+
+    One {!metric} couples exact streaming moments (count, mean,
+    variance via Welford, min/max) with a {!Sketch} for percentiles —
+    constant memory per metric however many observations flow through.
+    Merging is deterministic (no randomness anywhere), so folding
+    per-batch metrics in a fixed batch order produces bit-identical
+    summaries at any pool width. *)
+
+module Moments : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+
+  val merge : t -> t -> t
+  (** Chan's parallel update: exact count, deterministic mean/variance
+      combination.  Fresh result; arguments unchanged. *)
+
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] on an empty accumulator, like the other statistics. *)
+
+  val variance : t -> float
+  (** Population variance, [nan] when empty. *)
+
+  val min : t -> float
+  val max : t -> float
+end
+
+type metric
+
+val metric : ?capacity:int -> unit -> metric
+(** [capacity] sizes the percentile sketch (default 256). *)
+
+val observe : metric -> float -> unit
+val merge : metric -> metric -> metric
+val count : metric -> int
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  rank_err : int;  (** the sketch's worst-case rank error at summary time *)
+}
+
+val summarize : metric -> summary
+(** All floats are [nan] when [n = 0]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One fixed-format line: deterministic byte-for-byte given equal
+    summaries (the fleet report's building block). *)

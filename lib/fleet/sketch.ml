@@ -1,0 +1,125 @@
+(* KLL-style compactor hierarchy with a deterministic compaction rule.
+
+   levels.(l) is an unordered buffer of items carrying weight 2^l; only
+   the per-level multiset is observable (dump/quantile/rank sort), so
+   buffers append in O(1) and sort only when compacting.  Compaction of
+   a sorted even-length run keeps the odd positions — a deterministic
+   stand-in for KLL's coin flip — which shifts any rank estimate by at
+   most the level weight; [err] sums exactly that over the sketch's
+   history, giving a per-instance worst-case bound the property tests
+   check against exact Stats.percentile. *)
+
+type t = {
+  cap : int;
+  mutable levels : float list array;
+  mutable sizes : int array;
+  mutable count : int;
+  mutable err : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 8 then invalid_arg "Sketch.create: capacity must be >= 8";
+  { cap = capacity; levels = [| [] |]; sizes = [| 0 |]; count = 0; err = 0 }
+
+let capacity t = t.cap
+let count t = t.count
+let rank_error_bound t = t.err
+
+let ensure_level t l =
+  if l >= Array.length t.levels then begin
+    let n = Array.length t.levels in
+    let levels = Array.make (l + 1) [] in
+    let sizes = Array.make (l + 1) 0 in
+    Array.blit t.levels 0 levels 0 n;
+    Array.blit t.sizes 0 sizes 0 n;
+    t.levels <- levels;
+    t.sizes <- sizes
+  end
+
+(* Sort level [l], promote the odd positions of its even-length prefix
+   to level [l+1] (weight doubles), keep the odd leftover (the
+   maximum).  Postcondition: sizes.(l) <= 1. *)
+let compact t l =
+  let buf = Array.of_list t.levels.(l) in
+  Array.sort Float.compare buf;
+  let m = Array.length buf in
+  let even = m land lnot 1 in
+  let survivors = ref [] in
+  (* walk downwards so the promoted list ends up in ascending order *)
+  for i = (even / 2) - 1 downto 0 do
+    survivors := buf.((2 * i) + 1) :: !survivors
+  done;
+  if m land 1 = 1 then begin
+    t.levels.(l) <- [ buf.(m - 1) ];
+    t.sizes.(l) <- 1
+  end
+  else begin
+    t.levels.(l) <- [];
+    t.sizes.(l) <- 0
+  end;
+  ensure_level t (l + 1);
+  t.levels.(l + 1) <- List.rev_append (List.rev !survivors) t.levels.(l + 1);
+  t.sizes.(l + 1) <- t.sizes.(l + 1) + (even / 2);
+  t.err <- t.err + (1 lsl l)
+
+let rec cascade t l =
+  if l < Array.length t.levels then begin
+    if t.sizes.(l) > t.cap then compact t l;
+    cascade t (l + 1)
+  end
+
+let insert t x =
+  t.count <- t.count + 1;
+  t.levels.(0) <- x :: t.levels.(0);
+  t.sizes.(0) <- t.sizes.(0) + 1;
+  if t.sizes.(0) > t.cap then cascade t 0
+
+let merge a b =
+  if a.cap <> b.cap then invalid_arg "Sketch.merge: capacity mismatch";
+  let n = max (Array.length a.levels) (Array.length b.levels) in
+  let level src l = if l < Array.length src.levels then src.levels.(l) else [] in
+  let size src l = if l < Array.length src.sizes then src.sizes.(l) else 0 in
+  let t =
+    {
+      cap = a.cap;
+      levels = Array.init n (fun l -> List.rev_append (level a l) (level b l));
+      sizes = Array.init n (fun l -> size a l + size b l);
+      count = a.count + b.count;
+      err = a.err + b.err;
+    }
+  in
+  cascade t 0;
+  t
+
+let pairs t =
+  let acc = ref [] in
+  Array.iteri
+    (fun l buf -> List.iter (fun v -> acc := (v, 1 lsl l) :: !acc) buf)
+    t.levels;
+  let arr = Array.of_list !acc in
+  Array.sort
+    (fun (v1, w1) (v2, w2) ->
+      let c = Float.compare v1 v2 in
+      if c <> 0 then c else compare (w1 : int) w2)
+    arr;
+  arr
+
+let dump t = Array.to_list (pairs t)
+
+let quantile t p =
+  if t.count = 0 then invalid_arg "Sketch.quantile: empty sketch";
+  if p < 0.0 || p > 100.0 then invalid_arg "Sketch.quantile";
+  let arr = pairs t in
+  let target = p /. 100.0 *. float_of_int (t.count - 1) in
+  let rec go i cum =
+    let v, w = arr.(i) in
+    if float_of_int (cum + w - 1) >= target || i = Array.length arr - 1 then v
+    else go (i + 1) (cum + w)
+  in
+  go 0 0
+
+let rank t x =
+  let arr = pairs t in
+  let r = ref 0 in
+  Array.iter (fun (v, w) -> if v < x then r := !r + w) arr;
+  !r

@@ -1,0 +1,62 @@
+(** Deterministic mergeable quantile sketch.
+
+    A KLL-style compactor hierarchy with a deterministic compaction
+    rule: level [l] holds items of weight [2^l]; when a level outgrows
+    the capacity it is sorted and the items at odd positions survive
+    with doubled weight (an odd leftover — the maximum — stays behind).
+    Each compaction of level [l] moves any query's estimated rank by at
+    most [2^l], and the sketch accounts that worst case exactly in
+    {!rank_error_bound}.
+
+    Memory is [O(capacity * log (count / capacity))] however long the
+    stream — the point of the fleet aggregator: a million-device sweep
+    keeps kilobytes, not sample lists.
+
+    Determinism: the state is a pure function of the insert/merge
+    sequence (no randomized compaction coin), so aggregating fleet
+    batches in a fixed batch order yields byte-identical reports at any
+    pool width.  {!merge} is commutative in its arguments (the
+    observable state depends only on the multiset of weighted items per
+    level); it is {e not} associative byte-for-byte — different merge
+    groupings may compact at different moments — but every grouping's
+    estimates respect its own {!rank_error_bound}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh empty sketch.  [capacity] (default 256) is the per-level
+    buffer size; rank error scales as roughly
+    [log2 (count/capacity) * count / capacity].  Raises
+    [Invalid_argument] if [capacity < 8]. *)
+
+val capacity : t -> int
+
+val count : t -> int
+(** Total stream elements inserted (merges included). *)
+
+val insert : t -> float -> unit
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh sketch summarising both streams; [a] and [b]
+    are unchanged.  Raises [Invalid_argument] on mismatched
+    capacities. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [\[0, 100\]]: a stream value whose rank
+    is within {!rank_error_bound} of [p/100 * (count - 1)] (weighted
+    nearest rank).  Raises [Invalid_argument] on an empty sketch or
+    [p] outside the range. *)
+
+val rank : t -> float -> int
+(** Estimated number of stream elements strictly below the value — off
+    by at most {!rank_error_bound} from the true count. *)
+
+val rank_error_bound : t -> int
+(** Worst-case rank error accumulated so far: the sum of [2^l] over
+    every compaction performed at level [l].  [0] until the first
+    compaction — below [capacity] elements the sketch is exact. *)
+
+val dump : t -> (float * int) list
+(** The retained [(value, weight)] multiset, sorted by value then
+    weight — a canonical observable state, used by the merge
+    commutativity property test.  Weights sum to {!count}. *)

@@ -17,8 +17,22 @@ let next_int64 t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int";
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  (* Rejection sampling over the 62-bit draw: reducing every draw mod
+     [bound] over-weights the residues below [2^62 mod bound].  Draws
+     past the last whole multiple of [bound] are redrawn; acceptance
+     probability is >= 1 - bound/2^62, so for the simulator's small
+     bounds a redraw essentially never fires and existing seeded
+     streams are unchanged. *)
+  (* 2^62 itself overflows the 63-bit native int, so express the
+     acceptance region as r <= max_int - (2^62 mod bound), computed
+     from max_int = 2^62 - 1 without ever forming 2^62. *)
+  let rem = (((max_int mod bound) + 1) mod bound) (* = 2^62 mod bound *) in
+  let accept_max = max_int - rem in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if r <= accept_max then r mod bound else draw ()
+  in
+  draw ()
 
 let float t bound =
   let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in

@@ -15,7 +15,9 @@ val next_int64 : t -> int64
 (** Uniform over all 2^64 patterns. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, by
+    rejection sampling over the underlying 62-bit draw rather than a
+    (modulo-biased) reduction.  [bound] must be > 0. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

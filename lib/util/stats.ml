@@ -32,13 +32,19 @@ let nrmse ~reference output =
     Array.fold_left (fun m v -> Float.max m (abs_float v)) 0.0 reference
   in
   let scale = Float.max (value_range reference) max_abs in
-  e /. Float.max 1.0 scale
+  (* The epsilon only guards the degenerate all-zero reference (0/0);
+     a genuine small scale must divide through, or every reference with
+     range and magnitude below 1.0 (normalized sensor outputs) would
+     have its error silently deflated. *)
+  e /. Float.max 1e-12 scale
 
 let nrmse_pct ~reference output = 100.0 *. nrmse ~reference output
 
 let sorted a =
   let b = Array.copy a in
-  Array.sort compare b;
+  (* Float.compare: a total order with NaNs first, and no polymorphic
+     comparison (which boxes) on the aggregation hot path. *)
+  Array.sort Float.compare b;
   b
 
 let percentile a p =

@@ -20,7 +20,9 @@ val nrmse : reference:float array -> float array -> float
 (** RMSE normalised by the reference's scale — the larger of its value
     range and its peak magnitude (stable even for short, clustered
     output vectors) — as a fraction (×100 for the paper's
-    percentages). *)
+    percentages).  A tiny epsilon guards only the degenerate all-zero
+    reference; small but genuine scales (references entirely below 1.0
+    in magnitude) divide through undamped. *)
 
 val nrmse_pct : reference:float array -> float array -> float
 (** [nrmse] expressed in percent. *)
@@ -30,7 +32,8 @@ val median : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] for [p] in [\[0, 100\]], nearest-rank with linear
-    interpolation. *)
+    interpolation.  Sorting uses [Float.compare]'s total order, so
+    NaNs are well-defined: they sort before every number. *)
 
 val geomean : float array -> float
 (** Geometric mean of positive values. *)

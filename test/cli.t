@@ -78,3 +78,39 @@ outage points on the smallest kernel, one system, skim off):
 
   $ wn inject MatAdd --points 2 --system clank --skim off | head -1
   fault sweep: MatAdd system=checkpoint-volatile build=precise bits=8
+
+The fleet service validates its descriptor before simulating, and an
+unknown benchmark gets the same one-line diagnostic as `wn run`:
+
+  $ wn fleet nope
+  wn: unknown benchmark "nope" (try `wn list')
+  [124]
+
+  $ wn fleet Var --devices 0
+  wn: --devices must be >= 1 (got 0)
+  [124]
+
+  $ wn fleet Var --trace bogus
+  wn: unknown trace "bogus" (know: rf, square, constant)
+  [124]
+
+  $ wn fleet Var --sketch-capacity 2
+  wn: --sketch-capacity must be >= 8 (got 2)
+  [124]
+
+  $ wn fleet Var --cap 0
+  wn: --cap must be positive
+  [124]
+
+A tiny deterministic fleet (timing goes to stderr, so stdout is a
+stable report):
+
+  $ wn fleet MatAdd --devices 4 --batch 2 2>/dev/null
+  fleet: 4 devices x 1 task(s) = 4 tasks
+    configs (round-robin): MatAdd@8/checkpoint-volatile
+    trace rf seed 7, cap 10.0 uF, batch 2, sketch k=256
+    completed 4/4 (100.0%), 4 via skim (100.0%)
+    quality NRMSE% mean 0.7034  sd 0.0147  min 0.6826  p50 0.7130  p90 0.7209  p99 0.7209  max 0.7209
+    energy uJ/task mean 38.0285  sd 1.1398  min 36.1680  p50 38.5690  p90 39.2230  p99 39.2230  max 39.2230
+    outages/task   mean 3.0000  sd 0.0000  min 3.0000  p50 3.0000  p90 3.0000  p99 3.0000  max 3.0000
+    on-time %      mean 0.4923  sd 0.1477  min 0.3028  p50 0.4751  p90 0.7174  p99 0.7174  max 0.7174

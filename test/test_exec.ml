@@ -58,6 +58,56 @@ let test_worker_exception_propagates () =
       Alcotest.(check ints) "pool machinery survives" [ 1; 2 ]
         (Pool.map ~jobs:4 succ [ 0; 1 ])
 
+(* Regression: [default_jobs] used to clamp at 8, so a pool asked for
+   more never had more.  Prove 10 requested workers really run 10
+   concurrent tasks: each task blocks until all 10 have started, which
+   can only happen if 10 executors are live at once. *)
+let test_wide_pool_really_wide () =
+  let jobs = 10 in
+  let t = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown t) @@ fun () ->
+  Alcotest.(check int) "requested width kept" jobs (Pool.jobs t);
+  let started = Atomic.make 0 in
+  let rendezvous _ =
+    Atomic.incr started;
+    (* Domains timeshare on few cores; yield while waiting. *)
+    while Atomic.get started < jobs do
+      Domain.cpu_relax ()
+    done;
+    Atomic.get started
+  in
+  let counts = Pool.run t rendezvous (List.init jobs Fun.id) in
+  List.iter (fun c -> Alcotest.(check int) "all saw full house" jobs c) counts
+
+let test_map_batches () =
+  let t = Pool.create ~jobs:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown t) @@ fun () ->
+  let xs = Array.init 10 Fun.id in
+  let sums = Pool.map_batches t ~batch:4 (Array.fold_left ( + ) 0) xs in
+  (* Partition is [0..3][4..7][8..9] whatever the pool width. *)
+  Alcotest.(check ints) "batch sums in order" [ 6; 22; 17 ] sums;
+  let shapes = Pool.map_batches t ~batch:4 Array.length xs in
+  Alcotest.(check ints) "chunk shapes" [ 4; 4; 2 ] shapes;
+  Alcotest.(check ints) "empty input" []
+    (Pool.map_batches t ~batch:4 Array.length [||]);
+  match Pool.map_batches t ~batch:0 Array.length xs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "batch=0 accepted"
+
+let test_map_batches_jobs_independent () =
+  let xs = Array.init 37 (fun i -> i * i) in
+  let run jobs =
+    let t = Pool.create ~jobs () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown t) @@ fun () ->
+    Pool.map_batches t ~batch:5 (fun c -> Array.to_list c) xs
+  in
+  let sequential = run 1 in
+  List.iter
+    (fun jobs ->
+      if run jobs <> sequential then
+        Alcotest.failf "batch partition changed at jobs=%d" jobs)
+    [ 2; 8 ]
+
 let test_nested_map () =
   (* A task that itself fans out (a parallel figure whose units fan
      out) must not deadlock; caller participation drains the queue. *)
@@ -131,6 +181,10 @@ let () =
             test_map_rejects_nonpositive_jobs;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "worker exception" `Quick test_worker_exception_propagates;
+          Alcotest.test_case "wide pool" `Quick test_wide_pool_really_wide;
+          Alcotest.test_case "map_batches" `Quick test_map_batches;
+          Alcotest.test_case "map_batches jobs independent" `Quick
+            test_map_batches_jobs_independent;
           Alcotest.test_case "nested map" `Quick test_nested_map;
         ] );
       ( "determinism",

@@ -1,0 +1,255 @@
+(* Tests for wn.fleet: the deterministic quantile sketch (exactness
+   below capacity, per-instance rank-error bound, merge laws), the
+   streaming moments, and jobs-independence of the fleet service. *)
+
+open Wn_fleet
+module Stats = Wn_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- sketch: exact below capacity ---------------- *)
+
+let test_sketch_exact_below_capacity () =
+  let t = Sketch.create ~capacity:128 () in
+  (* 101 values in reverse order: still exact, no compaction yet. *)
+  for i = 100 downto 0 do
+    Sketch.insert t (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 101 (Sketch.count t);
+  Alcotest.(check int) "no error below capacity" 0 (Sketch.rank_error_bound t);
+  List.iter
+    (fun p -> check_float (Printf.sprintf "p%.0f exact" p) p (Sketch.quantile t p))
+    [ 0.0; 25.0; 50.0; 90.0; 100.0 ];
+  Alcotest.(check int) "rank exact" 42 (Sketch.rank t 42.0);
+  let weights = List.map snd (Sketch.dump t) in
+  Alcotest.(check int) "weights sum to count" 101
+    (List.fold_left ( + ) 0 weights)
+
+let test_sketch_validation () =
+  (match Sketch.create ~capacity:4 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 4 accepted");
+  let t = Sketch.create ~capacity:16 () in
+  (match Sketch.quantile t 50.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "quantile of empty sketch accepted");
+  Sketch.insert t 1.0;
+  (match Sketch.quantile t 101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p101 accepted");
+  match Sketch.merge t (Sketch.create ~capacity:32 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity mismatch merge accepted"
+
+(* ---------------- sketch: property tests ---------------- *)
+
+let stream_gen =
+  QCheck.(array_of_size Gen.(int_range 1 3000) (float_range (-1000.) 1000.))
+
+let exact_rank xs x = Array.fold_left (fun r v -> if v < x then r + 1 else r) 0 xs
+
+(* The sketch's own promise: estimated rank within the per-instance
+   accounted bound of the true rank, for every probe point. *)
+let prop_rank_error_bound =
+  QCheck.Test.make ~count:60 ~name:"sketch rank within accounted bound"
+    stream_gen (fun xs ->
+      let t = Sketch.create ~capacity:16 () in
+      Array.iter (Sketch.insert t) xs;
+      let err = Sketch.rank_error_bound t in
+      Array.for_all
+        (fun x -> abs (Sketch.rank t x - exact_rank xs x) <= err)
+        xs)
+
+(* Quantile estimates stay close to exact Stats.percentile in rank
+   space: the returned value's true rank is within the accounted bound
+   plus one retained item's weight of the target rank. *)
+let prop_quantile_vs_exact =
+  QCheck.Test.make ~count:60 ~name:"sketch quantile near exact percentile"
+    stream_gen (fun xs ->
+      let t = Sketch.create ~capacity:16 () in
+      Array.iter (Sketch.insert t) xs;
+      let n = Array.length xs in
+      let max_weight =
+        List.fold_left (fun m (_, w) -> max m w) 1 (Sketch.dump t)
+      in
+      let slack = Sketch.rank_error_bound t + max_weight in
+      List.for_all
+        (fun p ->
+          let v = Sketch.quantile t p in
+          let target = p /. 100.0 *. float_of_int (n - 1) in
+          abs_float (float_of_int (exact_rank xs v) -. target)
+          <= float_of_int slack +. 1.0)
+        [ 0.0; 10.0; 50.0; 90.0; 99.0; 100.0 ])
+
+let split_gen =
+  QCheck.(
+    pair stream_gen (pair (int_range 0 1000) (int_range 0 1000)))
+
+(* Merge is exactly commutative: the observable state (canonical dump)
+   is a function of the per-level multisets, not of argument order. *)
+let prop_merge_commutative =
+  QCheck.Test.make ~count:60 ~name:"sketch merge commutes" split_gen
+    (fun (xs, (k, _)) ->
+      let n = Array.length xs in
+      let k = k mod (n + 1) in
+      let a = Sketch.create ~capacity:16 () and b = Sketch.create ~capacity:16 () in
+      Array.iteri (fun i x -> Sketch.insert (if i < k then a else b) x) xs;
+      Sketch.dump (Sketch.merge a b) = Sketch.dump (Sketch.merge b a))
+
+(* Associativity holds at the guarantee level, not byte-for-byte:
+   either grouping's ranks respect its own accounted bound. *)
+let prop_merge_associative_bound =
+  QCheck.Test.make ~count:60 ~name:"sketch merge groupings stay bounded"
+    split_gen (fun (xs, (k1, k2)) ->
+      let n = Array.length xs in
+      let k1 = k1 mod (n + 1) in
+      let k2 = k1 + (k2 mod (n - k1 + 1)) in
+      let mk lo hi =
+        let t = Sketch.create ~capacity:16 () in
+        for i = lo to hi - 1 do
+          Sketch.insert t xs.(i)
+        done;
+        t
+      in
+      let a = mk 0 k1 and b = mk k1 k2 and c = mk k2 n in
+      let left = Sketch.merge (Sketch.merge a b) c in
+      let right = Sketch.merge a (Sketch.merge b c) in
+      Sketch.count left = n && Sketch.count right = n
+      && Array.for_all
+           (fun x ->
+             let e = exact_rank xs x in
+             abs (Sketch.rank left x - e) <= Sketch.rank_error_bound left
+             && abs (Sketch.rank right x - e) <= Sketch.rank_error_bound right)
+           xs)
+
+(* ---------------- streaming moments ---------------- *)
+
+let prop_moments_match_stats =
+  QCheck.Test.make ~count:100 ~name:"merged moments match exact stats"
+    split_gen (fun (xs, (k, _)) ->
+      let n = Array.length xs in
+      let k = k mod (n + 1) in
+      let a = Agg.Moments.create () and b = Agg.Moments.create () in
+      Array.iteri (fun i x -> Agg.Moments.add (if i < k then a else b) x) xs;
+      let m = Agg.Moments.merge a b in
+      let close u v = abs_float (u -. v) <= 1e-6 *. (1.0 +. abs_float v) in
+      Agg.Moments.count m = n
+      && close (Agg.Moments.mean m) (Stats.mean xs)
+      && close (Agg.Moments.variance m) (Stats.variance xs)
+      && Agg.Moments.min m = Array.fold_left Float.min xs.(0) xs
+      && Agg.Moments.max m = Array.fold_left Float.max xs.(0) xs)
+
+let test_moments_empty () =
+  let m = Agg.Moments.create () in
+  Alcotest.(check int) "count" 0 (Agg.Moments.count m);
+  if not (Float.is_nan (Agg.Moments.mean m)) then
+    Alcotest.fail "mean of empty should be nan";
+  let s = Agg.summarize (Agg.metric ()) in
+  Alcotest.(check int) "summary n" 0 s.Agg.n;
+  Alcotest.(check string) "pp of empty" "(no samples)"
+    (Format.asprintf "%a" Agg.pp_summary s)
+
+(* ---------------- fleet service ---------------- *)
+
+let small_fleet =
+  {
+    Fleet.default with
+    Fleet.devices = 6;
+    benchmarks = [ "Var" ];
+    systems = [ Wn_core.Intermittent.Clank ];
+    trace_class = Fleet.Constant;
+    trace_duration_s = 2.0;
+    batch = 2;
+  }
+
+let test_fleet_expand_round_robin () =
+  let d =
+    {
+      small_fleet with
+      Fleet.devices = 5;
+      benchmarks = [ "Var"; "Home" ];
+      bits_list = [ 4; 8 ];
+      seed = 100;
+    }
+  in
+  let specs = Fleet.expand d in
+  Alcotest.(check int) "unit count" 5 (Array.length specs);
+  let labels =
+    Array.to_list
+      (Array.map (fun s -> Printf.sprintf "%s@%d" s.Fleet.bench s.Fleet.bits) specs)
+  in
+  (* bench is the outer axis, bits the inner; device 4 wraps around. *)
+  Alcotest.(check (list string)) "round robin"
+    [ "Var@4"; "Var@8"; "Home@4"; "Home@8"; "Var@4" ]
+    labels;
+  Alcotest.(check int) "trace seed" 106 specs.(3).Fleet.trace_seed;
+  Alcotest.(check int) "input seed" 107 specs.(3).Fleet.input_seed
+
+let test_fleet_validation () =
+  let reject name d =
+    match Fleet.expand d with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  reject "devices 0" { small_fleet with Fleet.devices = 0 };
+  reject "samples 0" { small_fleet with Fleet.samples_per_device = 0 };
+  reject "sketch capacity 2" { small_fleet with Fleet.sketch_capacity = 2 };
+  reject "empty benchmarks" { small_fleet with Fleet.benchmarks = [] }
+
+let test_fleet_jobs_byte_identical () =
+  let render jobs =
+    let r = Fleet.run ~jobs small_fleet in
+    (Format.asprintf "%a" Fleet.pp r, Fleet.to_json r)
+  in
+  let sequential = render 1 in
+  List.iter
+    (fun jobs ->
+      let text, json = render jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "report at jobs=%d" jobs)
+        (fst sequential) text;
+      Alcotest.(check string)
+        (Printf.sprintf "json at jobs=%d" jobs)
+        (snd sequential) json)
+    [ 2; 8 ]
+
+let test_fleet_report_sanity () =
+  let r = Fleet.run ~jobs:2 small_fleet in
+  Alcotest.(check int) "units" 6 r.Fleet.units;
+  Alcotest.(check int) "tasks" 6 r.Fleet.tasks;
+  Alcotest.(check int) "all tasks measured" 6 r.Fleet.energy.Agg.n;
+  if r.Fleet.completed < 1 then Alcotest.fail "no task completed";
+  if r.Fleet.energy.Agg.mean <= 0.0 then Alcotest.fail "no energy drained"
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_rank_error_bound;
+      prop_quantile_vs_exact;
+      prop_merge_commutative;
+      prop_merge_associative_bound;
+      prop_moments_match_stats;
+    ]
+
+let () =
+  Alcotest.run "wn.fleet"
+    [
+      ( "sketch",
+        [
+          Alcotest.test_case "exact below capacity" `Quick
+            test_sketch_exact_below_capacity;
+          Alcotest.test_case "validation" `Quick test_sketch_validation;
+        ] );
+      ( "moments",
+        [ Alcotest.test_case "empty" `Quick test_moments_empty ] );
+      ("properties", qtests);
+      ( "fleet",
+        [
+          Alcotest.test_case "expand round robin" `Quick
+            test_fleet_expand_round_robin;
+          Alcotest.test_case "validation" `Quick test_fleet_validation;
+          Alcotest.test_case "jobs byte-identical" `Slow
+            test_fleet_jobs_byte_identical;
+          Alcotest.test_case "report sanity" `Quick test_fleet_report_sanity;
+        ] );
+    ]

@@ -159,6 +159,23 @@ let test_rng_split_independent () =
   let a = Rng.next_int64 rng and b = Rng.next_int64 child in
   if a = b then Alcotest.fail "split streams coincide"
 
+(* Regression: [Rng.int] used a bare [mod] over the 62-bit draw, so for
+   bound 3*2^60 the residues below 2^60 had two preimages (probability
+   1/2 instead of 1/3).  Rejection sampling restores uniformity. *)
+let test_rng_int_unbiased () =
+  let rng = Rng.create 99 in
+  let bound = 0x3000_0000_0000_0000 (* 3 * 2^60 *) in
+  let cutoff = bound / 3 in
+  let n = 3000 in
+  let below = ref 0 in
+  for _ = 1 to n do
+    if Rng.int rng bound < cutoff then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int n in
+  (* 1/3 +- ~5 sigma; the biased implementation lands at ~1/2. *)
+  if frac < 0.29 || frac > 0.38 then
+    Alcotest.failf "biased draw: P(low third) = %.3f, want ~0.333" frac
+
 (* ---------------- Stats ---------------- *)
 
 let test_stats_basics () =
@@ -177,6 +194,30 @@ let test_stats_nrmse () =
   check_float "uniform offset" 0.1 (Stats.nrmse ~reference off);
   Alcotest.check_raises "length mismatch" (Invalid_argument "Stats.rmse")
     (fun () -> ignore (Stats.rmse ~reference [| 1.0 |]))
+
+(* Regression: the scale floor used to be [Float.max 1.0 scale], which
+   silently deflated the error whenever both the reference range and
+   max-abs were below 1.0 (normalized sensor outputs). *)
+let test_stats_nrmse_small_scale () =
+  let reference = [| 0.2; 0.4 |] in
+  let output = [| 0.2; 0.3 |] in
+  let expected = Stats.rmse ~reference output /. 0.4 in
+  check_float "sub-unit scale divides through" expected
+    (Stats.nrmse ~reference output);
+  (* All-zero reference still guarded: 0/eps, not 0/0. *)
+  check_float "all-zero reference" 0.0 (Stats.nrmse ~reference:[| 0.0 |] [| 0.0 |])
+
+(* Float.compare gives the sort a total order: NaNs collect at the
+   front instead of poisoning the comparison, so percentiles over the
+   finite part remain deterministic. *)
+let test_stats_nan_handling () =
+  let nan = Float.nan in
+  check_float "median ignores leading NaN" 1.0
+    (Stats.median [| nan; 1.0; 2.0 |]);
+  check_float "p100 with NaN present" 5.0
+    (Stats.percentile [| nan; 5.0; 4.0 |] 100.0);
+  if not (Float.is_nan (Stats.percentile [| nan; 1.0 |] 0.0)) then
+    Alcotest.fail "p0 of a NaN-containing array should be the NaN"
 
 let test_stats_value_range () =
   check_float "spread" 3.0 (Stats.value_range [| 1.0; 4.0; 2.0 |]);
@@ -221,11 +262,14 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int unbiased" `Quick test_rng_int_unbiased;
         ] );
       ( "stats",
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "nrmse" `Quick test_stats_nrmse;
+          Alcotest.test_case "nrmse small scale" `Quick test_stats_nrmse_small_scale;
+          Alcotest.test_case "NaN handling" `Quick test_stats_nan_handling;
           Alcotest.test_case "value range" `Quick test_stats_value_range;
         ] );
       ("properties", qtests);
