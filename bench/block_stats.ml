@@ -1,0 +1,49 @@
+(* Static fusion statistics for the block-compiled engine: how much of
+   each benchmark's code the block planner covers, and the distribution
+   of fused-run lengths (the block-length histogram quoted in
+   EXPERIMENTS.md).
+
+   Usage:
+     dune exec bench/block_stats.exe             # suite, 8-bit, both builds
+     dune exec bench/block_stats.exe -- 4        # other subword size
+
+   Output is deterministic: it depends only on the compiled programs.
+   [memoizable:false] matches the default machine configuration (no
+   memo table, no zero skipping) the figure drivers simulate with; with
+   memoization enabled multiplies drop out of the fusible set, so
+   coverage there is a lower bound of what these tables show. *)
+
+open Wn_workloads
+module Fuse = Wn_analysis.Fuse
+
+let pp_build name (b : Wn_core.Runner.build) =
+  let program = b.Wn_core.Runner.compiled.Wn_compiler.Compile.program in
+  let s = Fuse.stats ~memoizable:false program in
+  let pct =
+    if s.Fuse.instructions = 0 then 0.0
+    else
+      100.0 *. float_of_int s.Fuse.fused_instructions
+      /. float_of_int s.Fuse.instructions
+  in
+  Printf.printf "  %-8s %4d instructions, %3d runs, %4d fused (%.1f%%)\n" name
+    s.Fuse.instructions s.Fuse.runs s.Fuse.fused_instructions pct;
+  if s.Fuse.histogram <> [] then begin
+    Printf.printf "    run length histogram:";
+    List.iter
+      (fun (len, count) -> Printf.printf " %d:%d" len count)
+      s.Fuse.histogram;
+    print_newline ()
+  end
+
+let () =
+  let bits =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8
+  in
+  let cfg = { Workload.bits; provisioned = true } in
+  Printf.printf "block fusion statistics (bits=%d, memoizable=false)\n" bits;
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "%s:\n" w.Workload.name;
+      pp_build "anytime" (Wn_core.Runner.build w cfg);
+      pp_build "precise" (Wn_core.Runner.build ~precise:true w cfg))
+    (Suite.all Workload.Small @ Suite.extensions Workload.Small)

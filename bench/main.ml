@@ -115,11 +115,21 @@ let micro_tests scale =
       Wn_machine.Machine.step_fast machine
     done
   in
+  (* Same workload through the block engine: fused runs retire several
+     instructions per dispatch, so the loop counts retirement instead of
+     dispatches (it may overshoot by at most one block's tail). *)
+  let step_machine_block () =
+    Wn_core.Runner.load_sample build machine inputs;
+    let stop = Wn_machine.Machine.instructions_retired machine + 1000 in
+    while Wn_machine.Machine.instructions_retired machine < stop do
+      Wn_machine.Machine.step_block machine
+    done
+  in
   (* fig10/fig11: a full intermittent task on a bursty supply. *)
   let trace =
     Wn_power.Trace.square ~on_ms:3 ~off_ms:30 ~power:2e-3 ~duration_s:4.0
   in
-  let intermittent_task () =
+  let intermittent_task engine () =
     let supply =
       Wn_power.Supply.create ~trace ~capacitor:(Wn_power.Capacitor.create ()) ()
     in
@@ -127,17 +137,17 @@ let micro_tests scale =
     ignore
       (Wn_runtime.Executor.run
          ~policy:(Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank)
-         ~machine ~supply ())
+         ~engine ~machine ~supply ())
   in
   (* fig10: the Clank runtime with its shadow-map read/write tracking,
      isolated from outage physics by an always-on supply — measures the
      per-instruction tracking overhead alone. *)
-  let clank_shadowmap () =
+  let clank_shadowmap engine () =
     Wn_core.Runner.load_sample build machine inputs;
     ignore
       (Wn_runtime.Executor.run
          ~policy:(Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank)
-         ~machine
+         ~engine ~machine
          ~supply:(Wn_power.Supply.always_on ())
          ())
   in
@@ -172,11 +182,22 @@ let micro_tests scale =
     | Ok _ -> ()
     | Error e -> failwith e
   in
+  let fast = Wn_runtime.Executor.Fast in
+  let block = Wn_runtime.Executor.Block in
   [
     Test.make ~name:"table1:compile_var_kernel" (Staged.stage compile_kernel);
-    Test.make ~name:"fig9:simulate_1k_instructions" (Staged.stage step_machine);
-    Test.make ~name:"fig10:intermittent_clank_task" (Staged.stage intermittent_task);
-    Test.make ~name:"fig10:executor_clank_shadowmap" (Staged.stage clank_shadowmap);
+    Test.make ~name:"fig9:simulate_1k_instructions[engine=fast]"
+      (Staged.stage step_machine);
+    Test.make ~name:"fig9:simulate_1k_instructions[engine=block]"
+      (Staged.stage step_machine_block);
+    Test.make ~name:"fig10:intermittent_clank_task[engine=fast]"
+      (Staged.stage (intermittent_task fast));
+    Test.make ~name:"fig10:intermittent_clank_task[engine=block]"
+      (Staged.stage (intermittent_task block));
+    Test.make ~name:"fig10:executor_clank_shadowmap[engine=fast]"
+      (Staged.stage (clank_shadowmap fast));
+    Test.make ~name:"fig10:executor_clank_shadowmap[engine=block]"
+      (Staged.stage (clank_shadowmap block));
     Test.make ~name:"fig13:memo_front_end" (Staged.stage memo_lookup);
     Test.make ~name:"fig14:subword_major_encode" (Staged.stage layout_encode);
     Test.make ~name:"isa:codec_roundtrip" (Staged.stage codec);

@@ -79,6 +79,28 @@ let find_bench scale name =
   | None ->
       Error (`Msg (Printf.sprintf "unknown benchmark %S (try `wn list')" name))
 
+(* Hand-parsed like --trace so an unknown engine gives the same
+   one-line diagnostic shape, not a multi-line usage dump. *)
+let engine_arg =
+  Arg.(
+    value & opt string "block"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Executor stepping engine: $(b,block) (fused basic-block \
+           superinstructions with energy-gated entry, the default), \
+           $(b,fast) (per-instruction fast path) or $(b,compat) (the \
+           original record interface, kept as a cross-check).  All \
+           engines produce byte-identical reports; the choice only \
+           affects simulation speed.")
+
+let find_engine id =
+  match Wn_runtime.Executor.engine_of_string id with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown engine %S (know: fast, block, compat)" id))
+
 (* ---------------- wn list ---------------- *)
 
 let list_cmd =
@@ -275,16 +297,19 @@ let figure_cmd =
       & info [ "paper-setup" ]
           ~doc:"Use the paper's 9 traces x 3 invocations for figures 10/11.")
   in
-  let run id scale seed out paper_setup jobs =
+  let run id scale seed out paper_setup engine_name jobs =
     let* jobs = require_positive "jobs" jobs in
     let* _ = require_non_negative "seed" seed in
+    let* engine = find_engine engine_name in
+    let setup =
+      if paper_setup then Wn_core.Intermittent.paper_setup
+      else Wn_core.Intermittent.default_setup
+    in
     let opts =
       {
         Wn_core.Figures.scale;
         seed;
-        setup =
-          (if paper_setup then Wn_core.Intermittent.paper_setup
-           else Wn_core.Intermittent.default_setup);
+        setup = { setup with Wn_core.Intermittent.engine };
         out_dir = out;
         jobs;
       }
@@ -300,7 +325,7 @@ let figure_cmd =
     Term.(
       term_result
         (const run $ id_arg $ scale_arg $ seed_arg $ out_arg $ paper_setup_arg
-       $ jobs_arg))
+       $ engine_arg $ jobs_arg))
 
 (* ---------------- wn inject ---------------- *)
 
@@ -361,13 +386,14 @@ let inject_cmd =
              value.")
   in
   let run bench scale bits points seed exhaustive system skim differential
-      keyframe_interval jobs =
+      keyframe_interval engine_name jobs =
     let* jobs = require_positive "jobs" jobs in
     let* points = require_positive "points" points in
     let* seed = require_non_negative "seed" seed in
     let* keyframe_interval =
       require_non_negative "keyframe-interval" keyframe_interval
     in
+    let* engine = find_engine engine_name in
     match find_bench scale bench with
     | Error e -> Error e
     | Ok w ->
@@ -402,6 +428,7 @@ let inject_cmd =
                     sample_seed = seed;
                     differential;
                     keyframe_interval;
+                    engine;
                   }
                 in
                 let report = Wn_core.Inject.sweep ~jobs ~mode ~config w in
@@ -427,7 +454,7 @@ let inject_cmd =
       term_result
         (const run $ bench_arg $ scale_arg $ bits_arg $ points_arg
        $ inject_seed_arg $ exhaustive_arg $ inj_system_arg $ inj_skim_arg
-       $ differential_arg $ keyframe_arg $ jobs_arg))
+       $ differential_arg $ keyframe_arg $ engine_arg $ jobs_arg))
 
 (* ---------------- wn fleet ---------------- *)
 
@@ -483,8 +510,9 @@ let fleet_cmd =
           ~doc:"Percentile-sketch buffer capacity (>= 8).")
   in
   let run benches scale bits system devices samples batch cap_uf sketch
-      trace_name seed json jobs =
+      trace_name seed engine_name json jobs =
     let* jobs = require_positive "jobs" jobs in
+    let* engine = find_engine engine_name in
     let* devices = require_positive "devices" devices in
     let* samples = require_positive "samples" samples in
     let* batch = require_non_negative "batch" batch in
@@ -534,6 +562,7 @@ let fleet_cmd =
         capacitance = cap_uf *. 1e-6;
         batch;
         sketch_capacity = sketch;
+        engine;
       }
     in
     let t0 = Unix.gettimeofday () in
@@ -559,7 +588,7 @@ let fleet_cmd =
       term_result
         (const run $ benches_arg $ scale_arg $ bits_arg $ fleet_system_arg
        $ devices_arg $ samples_arg $ batch_arg $ cap_arg $ sketch_arg
-       $ trace_arg $ seed_arg $ json_arg $ jobs_arg))
+       $ trace_arg $ seed_arg $ engine_arg $ json_arg $ jobs_arg))
 
 (* ---------------- wn disasm / wn source ---------------- *)
 

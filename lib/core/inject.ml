@@ -14,6 +14,7 @@ type config = {
   off_cycles : int;
   differential : bool;
   keyframe_interval : int;
+  engine : Executor.engine;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     off_cycles = Wn_power.Supply.default_off_cycles;
     differential = false;
     keyframe_interval = Faults.default_keyframe_interval;
+    engine = Executor.Block;
   }
 
 type report = {
@@ -156,8 +158,8 @@ let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
       (fun i ->
         let boundary = boundaries.(i) in
         let res =
-          Faults.run_point ~off_cycles:config.off_cycles ?keyframes scen
-            ~boundary
+          Faults.run_point ~engine:config.engine ~off_cycles:config.off_cycles
+            ?keyframes scen ~boundary
         in
         let expect_skim =
           match prof.Faults.first_skim with

@@ -34,6 +34,10 @@ type config = {
           prefix instructions instead of the whole prefix.  [0]
           disables keyframes (every point replays from instruction 0).
           Reports are byte-identical for every value. *)
+  engine : Wn_runtime.Executor.engine;
+      (** stepping engine for the injected runs (default [Block]);
+          reports are byte-identical across engines.  The differential
+          re-run always uses [Compat] regardless. *)
 }
 
 val default_config : config

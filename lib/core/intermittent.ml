@@ -25,6 +25,7 @@ type setup = {
   input_seed : int;
   clank_config : Executor.clank_config;
   cycle_energy : float;
+  engine : Executor.engine;
 }
 
 let default_setup =
@@ -36,6 +37,7 @@ let default_setup =
     input_seed = 7;
     clank_config = Executor.default_clank;
     cycle_energy = Wn_power.Supply.default_cycle_energy;
+    engine = Executor.Block;
   }
 
 let paper_setup =
@@ -63,7 +65,8 @@ type task_measure = {
    capacitor state carries over between samples, as on a real device.
    This is the per-device unit runner: the figure drivers here and the
    fleet driver (wn.fleet) both build on it. *)
-let run_stream ?capacitor ~cycle_energy build policy trace samples =
+let run_stream ?capacitor ?(engine = Executor.Block) ~cycle_energy build policy
+    trace samples =
   let capacitor =
     match capacitor with
     | Some c -> c
@@ -75,7 +78,7 @@ let run_stream ?capacitor ~cycle_energy build policy trace samples =
     (fun inputs ->
       Runner.load_sample build machine inputs;
       let e0 = Wn_power.Supply.energy_consumed supply in
-      let o = Executor.run ~policy ~machine ~supply () in
+      let o = Executor.run ~policy ~engine ~machine ~supply () in
       {
         wall = o.Executor.wall_cycles;
         active = o.Executor.active_cycles;
@@ -126,10 +129,12 @@ let run_unit ~setup ~(w : Workload.t) ~precise ~anytime ~policy
     List.init setup.samples_per_run (fun _ -> w.Workload.fresh_inputs rng)
   in
   let base =
-    run_stream ~cycle_energy:setup.cycle_energy precise policy trace samples
+    run_stream ~engine:setup.engine ~cycle_energy:setup.cycle_energy precise
+      policy trace samples
   in
   let wn =
-    run_stream ~cycle_energy:setup.cycle_energy anytime policy trace samples
+    run_stream ~engine:setup.engine ~cycle_energy:setup.cycle_energy anytime
+      policy trace samples
   in
   let acc =
     fold3

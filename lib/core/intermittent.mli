@@ -36,6 +36,7 @@ type task_measure = {
 
 val run_stream :
   ?capacitor:Wn_power.Capacitor.t ->
+  ?engine:Wn_runtime.Executor.engine ->
   cycle_energy:float ->
   Runner.build ->
   Wn_runtime.Executor.policy ->
@@ -48,7 +49,10 @@ val run_stream :
     Pure in its arguments — the machine, supply and capacitor are built
     inside — so any number of streams can run on pool domains sharing
     one immutable [Runner.build].  Used by the figure drivers here and
-    by the fleet driver ({!Wn_fleet.Fleet} in lib/fleet). *)
+    by the fleet driver ({!Wn_fleet.Fleet} in lib/fleet).  [engine]
+    (default [Block]) selects the executor's stepping engine; all
+    engines produce bit-identical measures, the choice only affects
+    simulation speed. *)
 
 type result = {
   workload : string;
@@ -72,6 +76,9 @@ type setup = {
   input_seed : int;
   clank_config : Wn_runtime.Executor.clank_config;
   cycle_energy : float;  (** joules per cycle (ablation knob) *)
+  engine : Wn_runtime.Executor.engine;
+      (** stepping engine for every run (default [Block]); results are
+          bit-identical across engines *)
 }
 
 val default_setup : setup

@@ -30,6 +30,7 @@ type descriptor = {
   cycle_energy : float;
   batch : int;
   sketch_capacity : int;
+  engine : Wn_runtime.Executor.engine;
 }
 
 (* The 4 s trace bounds the simulated wall clock of a device that
@@ -50,6 +51,7 @@ let default =
     cycle_energy = Wn_power.Supply.default_cycle_energy;
     batch = 0;
     sketch_capacity = 256;
+    engine = Wn_runtime.Executor.Block;
   }
 
 type unit_spec = {
@@ -177,8 +179,8 @@ let run_device d builds acc spec =
   let measures =
     Intermittent.run_stream
       ~capacitor:(Wn_power.Capacitor.create ~capacitance:d.capacitance ())
-      ~cycle_energy:d.cycle_energy build golden_policy (make_trace d spec)
-      samples
+      ~engine:d.engine ~cycle_energy:d.cycle_energy build golden_policy
+      (make_trace d spec) samples
   in
   List.iter2
     (fun inputs (m : Intermittent.task_measure) ->

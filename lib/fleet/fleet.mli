@@ -38,6 +38,9 @@ type descriptor = {
   cycle_energy : float;
   batch : int;  (** units per scheduled batch; 0 = auto (~256 batches) *)
   sketch_capacity : int;
+  engine : Wn_runtime.Executor.engine;
+      (** stepping engine per device (default [Block]); the report is
+          byte-identical across engines *)
 }
 
 val default : descriptor

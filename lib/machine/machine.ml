@@ -53,6 +53,33 @@ type t = {
   mutable last_memo_hit : bool;
   mutable last_zero_skipped : bool;
   mutable last_skm : bool;
+  (* Block-compiled execution: per-pc table of fused superinstructions
+     (entries only at run-start pcs), built lazily on first use because
+     it needs a CFG pass over the program.  [blk_reads] is the scratch
+     ring fused load closures record their effective addresses into —
+     fixed slots, one per load of the executing run, so the executor can
+     replay Clank read tracking after the block commits. *)
+  mutable fused_table : fused option array;
+  mutable blk_reads : int array;
+  mutable blocks_built : bool;
+}
+
+(* One fused run: straight-line, store-free, [Skm]-free, statically
+   timed (see [Wn_analysis.Fuse]).  [b_code] holds one bare closure per
+   instruction — the architectural effect only, none of the per-step
+   scratch/pc/statistics writes, which [exec_block] batches. *)
+and fused = {
+  b_first : int;
+  b_len : int;
+  b_cycles : int;  (* total latency: sum of [Instr.worst_cycles], exact *)
+  b_pre_cycles : int;  (* cycles before the last instruction *)
+  b_last_cost : int;
+  b_costs : int array;  (* static per-instruction latency, in order *)
+  b_loads : int;  (* load instructions in the run *)
+  b_wn : int;  (* WN-extension instructions in the run *)
+  b_last_is_load : bool;
+  b_read_bytes : int;  (* bytes of the run's last load; 0 if no load *)
+  b_code : (t -> unit) array;
 }
 
 let u32 v = v land 0xFFFF_FFFF
@@ -436,6 +463,9 @@ let create ?(config = default_config) ~program ~mem () =
     last_memo_hit = false;
     last_zero_skipped = false;
     last_skm = false;
+    fused_table = [||];
+    blk_reads = [||];
+    blocks_built = false;
   }
 
 let program t = t.program
@@ -527,6 +557,217 @@ let step t =
     memo_hit = t.last_memo_hit;
     zero_skipped = t.last_zero_skipped;
   }
+
+(* ---------------- block-compiled execution ---------------- *)
+
+(* Bare closure: the architectural effect of one fused instruction and
+   nothing else.  No [pcv] write (the run's exit pc is static), no
+   [last_*] scratch, no statistics — [exec_block] batches all of those.
+   Loads record their effective address into a fixed [blk_reads] slot so
+   the executor can replay Clank read-set tracking post-commit.  Only
+   instructions [Wn_analysis.Fuse.fusible] accepts reach this compiler;
+   multiplies arrive only in the fixed-latency (no memo, no zero-skip)
+   configuration.  Register accesses skip the bounds check: [Reg.t] is a
+   private int validated to [0 <= i < Reg.count] at construction and the
+   register file is always [Reg.count] long. *)
+let compile_bare ~ring ~slot (i : int Instr.t) : t -> unit =
+  let idx = Reg.index in
+  match i with
+  | Instr.Nop -> fun _ -> ()
+  | Instr.Mov_imm (rd, imm) ->
+      let rd = idx rd and imm = u32 imm in
+      fun t -> Array.unsafe_set t.regs rd (imm)
+  | Instr.Movt (rd, imm) ->
+      let rd = idx rd and hi = imm lsl 16 in
+      fun t -> Array.unsafe_set t.regs rd (u32 (((Array.unsafe_get t.regs rd) land 0xFFFF) lor hi))
+  | Instr.Mov (rd, rn) ->
+      let rd = idx rd and rn = idx rn in
+      fun t -> Array.unsafe_set t.regs rd ((Array.unsafe_get t.regs rn))
+  | Instr.Alu (op, rd, rn, rm) ->
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      fun t -> Array.unsafe_set t.regs rd (u32 (alu_eval op (Array.unsafe_get t.regs rn) (Array.unsafe_get t.regs rm)))
+  | Instr.Alu_imm (op, rd, rn, imm) ->
+      let rd = idx rd and rn = idx rn in
+      fun t -> Array.unsafe_set t.regs rd (u32 (alu_eval op (Array.unsafe_get t.regs rn) imm))
+  | Instr.Shift (op, rd, rn, sh) -> (
+      let rd = idx rd and rn = idx rn in
+      match op with
+      | Instr.Lsl -> fun t -> Array.unsafe_set t.regs rd (u32 ((Array.unsafe_get t.regs rn) lsl sh))
+      | Instr.Lsr -> fun t -> Array.unsafe_set t.regs rd (u32 ((Array.unsafe_get t.regs rn) lsr sh))
+      | Instr.Asr -> fun t -> Array.unsafe_set t.regs rd (u32 (signed32 (Array.unsafe_get t.regs rn) asr sh)))
+  | Instr.Mul (rd, rn, rm) ->
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      fun t -> Array.unsafe_set t.regs rd (u32 ((Array.unsafe_get t.regs rn) * (Array.unsafe_get t.regs rm)))
+  | Instr.Mul_asp { bits; signed; rd; rn; shift } ->
+      let rd = idx rd and rn = idx rn in
+      fun t ->
+        let sub_raw = Subword.truncate ~bits (Array.unsafe_get t.regs rn) in
+        let multiplicand = signed32 (Array.unsafe_get t.regs rd) in
+        let sub = if signed then Subword.to_signed ~bits sub_raw else sub_raw in
+        Array.unsafe_set t.regs rd (u32 ((multiplicand * sub) lsl shift))
+  | Instr.Add_asv (w, rd, rn, rm) ->
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      fun t ->
+        Array.unsafe_set t.regs rd (Subword.lanes_add ~lane_bits:w ~width:32 (Array.unsafe_get t.regs rn) (Array.unsafe_get t.regs rm))
+  | Instr.Sub_asv (w, rd, rn, rm) ->
+      let rd = idx rd and rn = idx rn and rm = idx rm in
+      fun t ->
+        Array.unsafe_set t.regs rd (Subword.lanes_sub ~lane_bits:w ~width:32 (Array.unsafe_get t.regs rn) (Array.unsafe_get t.regs rm))
+  | Instr.Sqrt (rd, rn) ->
+      let rd = idx rd and rn = idx rn in
+      fun t -> Array.unsafe_set t.regs rd (isqrt_top ~bits:16 (Array.unsafe_get t.regs rn))
+  | Instr.Sqrt_asp { bits; rd; rn } ->
+      let rd = idx rd and rn = idx rn in
+      fun t -> Array.unsafe_set t.regs rd (isqrt_top ~bits (Array.unsafe_get t.regs rn))
+  | Instr.Cmp (rn, rm) ->
+      let rn = idx rn and rm = idx rm in
+      fun t -> set_compare_flags t (Array.unsafe_get t.regs rn) (Array.unsafe_get t.regs rm)
+  | Instr.Cmp_imm (rn, imm) ->
+      let rn = idx rn in
+      fun t -> set_compare_flags t (Array.unsafe_get t.regs rn) imm
+  | Instr.Ldr { width; signed; rd; base; off } ->
+      let rd = idx rd and base = idx base in
+      let read = reader width ~signed in
+      fun t ->
+        let addr = (Array.unsafe_get t.regs base) + off in
+        Array.unsafe_set t.regs rd (read t.mem addr);
+        Array.unsafe_set ring slot addr
+  | Instr.Ldr_reg { width; signed; rd; base; idx = ix } ->
+      let rd = idx rd and base = idx base and ix = idx ix in
+      let read = reader width ~signed in
+      fun t ->
+        let addr = (Array.unsafe_get t.regs base) + (Array.unsafe_get t.regs ix) in
+        Array.unsafe_set t.regs rd (read t.mem addr);
+        Array.unsafe_set ring slot addr
+  | Instr.Halt | Instr.Str _ | Instr.Str_reg _ | Instr.B _ | Instr.Bl _
+  | Instr.Bx_lr | Instr.Skm _ ->
+      invalid_arg "Machine.compile_bare: not fusible"
+
+let is_load_instr = function
+  | Instr.Ldr _ | Instr.Ldr_reg _ -> true
+  | _ -> false
+
+let build_blocks t =
+  let memoizable = t.memo_table <> None || t.zero_skip in
+  let runs = Wn_analysis.Fuse.plan ~memoizable t.program in
+  let table = Array.make (Array.length t.program) None in
+  let max_loads =
+    List.fold_left
+      (fun m (r : Wn_analysis.Fuse.run) -> max m r.Wn_analysis.Fuse.r_loads)
+      1 runs
+  in
+  let ring = Array.make max_loads 0 in
+  List.iter
+    (fun (r : Wn_analysis.Fuse.run) ->
+      let open Wn_analysis.Fuse in
+      let costs =
+        Array.init r.r_len (fun k ->
+            Instr.worst_cycles t.program.(r.r_first + k))
+      in
+      let slot = ref 0 in
+      let read_bytes = ref 0 in
+      let code =
+        Array.init r.r_len (fun k ->
+            let i = t.program.(r.r_first + k) in
+            let s = !slot in
+            if is_load_instr i then begin
+              incr slot;
+              (read_bytes :=
+                 match i with
+                 | Instr.Ldr { width; _ } | Instr.Ldr_reg { width; _ } ->
+                     access_bytes width
+                 | _ -> !read_bytes)
+            end;
+            compile_bare ~ring ~slot:s i)
+      in
+      let last_cost = costs.(r.r_len - 1) in
+      table.(r.r_first) <-
+        Some
+          {
+            b_first = r.r_first;
+            b_len = r.r_len;
+            b_cycles = r.r_cycles;
+            b_pre_cycles = r.r_cycles - last_cost;
+            b_last_cost = last_cost;
+            b_costs = costs;
+            b_loads = r.r_loads;
+            b_wn = r.r_wn;
+            b_last_is_load = is_load_instr t.program.(r.r_first + r.r_len - 1);
+            b_read_bytes = !read_bytes;
+            b_code = code;
+          })
+    runs;
+  t.fused_table <- table;
+  t.blk_reads <- ring;
+  t.blocks_built <- true
+
+let block_at t pc =
+  if not t.blocks_built then build_blocks t;
+  if pc >= 0 && pc < Array.length t.fused_table then
+    Array.unsafe_get t.fused_table pc
+  else None
+
+let block_len b = b.b_len
+let block_first b = b.b_first
+let block_cycles b = b.b_cycles
+let block_pre_cycles b = b.b_pre_cycles
+let block_costs b = b.b_costs
+let block_loads b = b.b_loads
+let block_wn b = b.b_wn
+let block_read_addr t i = t.blk_reads.(i)
+
+let budget_covers t n = t.steps_left < 0 || t.steps_left >= n
+
+(* Execute one fused run in a single call.  Preconditions (the executor
+   and [step_block] enforce them): machine not halted, [pcv = b.b_first],
+   and the step budget covers the whole run.  Afterwards the machine is
+   bit-identical — architectural state, statistics, step budget and the
+   [last_*] scratch — to [b_len] successive [step_fast] calls:
+
+   - the scratch reflects the run's final instruction, with one
+     subtlety inherited from [step_fast]: [last_read_bytes] /
+     [last_wrote_bytes] are not reset per step, so they keep the bytes
+     of the most recent access *anywhere* before the boundary.  No run
+     contains a store, so [last_wrote_bytes] is left untouched;
+     [last_read_bytes] is overwritten only if the run loaded at all.
+   - an exception from a closure (out-of-bounds load) leaves the batched
+     counters not yet applied, mirroring [step_fast]'s partial-commit
+     behaviour mid-instruction; both engines only diverge on runs that
+     crash, which no lint-clean program does. *)
+let exec_block t b =
+  let code = b.b_code in
+  for i = 0 to b.b_len - 1 do
+    (Array.unsafe_get code i) t
+  done;
+  t.last_pc <- b.b_first + b.b_len - 1;
+  t.last_cycles <- b.b_last_cost;
+  t.last_read_addr <-
+    (if b.b_last_is_load then Array.unsafe_get t.blk_reads (b.b_loads - 1)
+     else -1);
+  if b.b_loads > 0 then t.last_read_bytes <- b.b_read_bytes;
+  t.last_wrote_addr <- -1;
+  t.last_memo_hit <- false;
+  t.last_zero_skipped <- false;
+  t.last_skm <- false;
+  t.pcv <- b.b_first + b.b_len;
+  t.retired <- t.retired + b.b_len;
+  t.wn_retired <- t.wn_retired + b.b_wn;
+  t.cycles <- t.cycles + b.b_cycles;
+  if t.steps_left > 0 then begin
+    let r = t.steps_left - b.b_len in
+    t.steps_left <- (if r < 0 then 0 else r)
+  end
+
+(* Whole-block step when a fused run starts at the pc and the step
+   budget covers it; per-instruction [step_fast] otherwise.  Always
+   makes progress by at least one instruction (same failure conditions
+   as [step_fast] when halted or out of program). *)
+let step_block t =
+  if t.halt then step_fast t
+  else
+    match block_at t t.pcv with
+    | Some b when budget_covers t b.b_len -> exec_block t b
+    | _ -> step_fast t
 
 (* ---------------- the reference interpreter ---------------- *)
 

@@ -137,6 +137,73 @@ val step_budget : t -> int option
 val budget_exhausted : t -> bool
 (** True iff a budget was set and has reached zero. *)
 
+(** {2 Block-compiled execution — fused superinstructions}
+
+    The machine lazily partitions its predecoded program into maximal
+    fusible runs ({!Wn_analysis.Fuse.plan}: straight-line, no store, no
+    [Skm], no memoizable multiply, statically known latency) and
+    compiles each into a {!fused} superinstruction: one bare closure per
+    instruction carrying only the architectural effect, with the
+    per-step bookkeeping — scratch resets, PC advance, retired/cycle
+    statistics, budget decrement — precomputed and applied once per run
+    by {!exec_block}.  Executing a run is bit-identical to the same
+    number of {!step_fast} calls, including the [last_*] scratch left at
+    the boundary, and allocates nothing.
+
+    Runs never contain a store or a skim latch, so a power failure at
+    the run boundary tears nothing a mid-run failure wouldn't; the
+    per-instruction effects an intermittency runtime must still observe
+    are exposed statically ({!block_costs}) or replayed from scratch
+    ({!block_read_addr}: the effective address of each load, in order,
+    valid until the next [exec_block]). *)
+
+type fused
+
+val block_at : t -> int -> fused option
+(** The fused run starting at exactly this pc, if any.  Builds the
+    block table on first call (one CFG pass); later calls are an array
+    read.  Runs start only at pcs the partition chose, so a mid-run pc
+    (e.g. a checkpoint restore target) answers [None] — per-step
+    execution then reaches the next run start naturally. *)
+
+val block_len : fused -> int
+val block_first : fused -> int
+
+val block_cycles : fused -> int
+(** Total latency of the run — the sum of {!worst_case_cycles} over its
+    pc range, exact (not a bound) because fusible instructions have
+    static latency.  This is the run's worst-case energy in cycles, the
+    quantity the executor's entry guard prices against the capacitor. *)
+
+val block_pre_cycles : fused -> int
+(** [block_cycles] minus the last instruction's latency: the watchdog
+    slack needed so no interior boundary can trip a Clank checkpoint. *)
+
+val block_costs : fused -> int array
+(** Per-instruction latency, in order.  Shared, do not mutate. *)
+
+val block_loads : fused -> int
+val block_wn : fused -> int
+
+val block_read_addr : t -> int -> int
+(** Effective address of the [i]'th load (0-based, program order) of
+    the most recently {!exec_block}-executed run. *)
+
+val budget_covers : t -> int -> bool
+(** Whether the step budget is unlimited or at least [n]:
+    allocation-free equivalent of matching on {!step_budget}. *)
+
+val exec_block : t -> fused -> unit
+(** Execute the whole run in one call.  The caller must ensure the
+    machine is not halted, the PC equals [block_first], and
+    [budget_covers] the run length; {!step_block} and the executor's
+    block engine do. *)
+
+val step_block : t -> unit
+(** {!exec_block} when a fused run starts at the PC and the budget
+    covers it, {!step_fast} otherwise.  Same failure conditions as
+    {!step_fast}. *)
+
 val step_reference : t -> step_result
 (** The original direct interpreter over [int Instr.t], kept as the
     executable specification of the ISA.  Semantically interchangeable

@@ -8,7 +8,11 @@ type t = {
                      per-call float round the seed paid *)
   mutable cycles : int;
   mutable outage_count : int;
-  mutable consumed : float;
+  (* Core-drain accounting in integer cycles, not accumulated floats:
+     [energy_consumed] is one multiply at read time, so a batched
+     multi-instruction consume reports exactly the same energy as the
+     per-instruction call sequence (no float summation-order drift). *)
+  mutable consumed_cycles : int;
   (* Cached harvest segment: for cycle positions in
      [tick_base, tick_end) the trace delivers [tick_power] watts.
      Within-segment [consume] is then a multiply-add; the piecewise
@@ -53,7 +57,7 @@ let create ?(clock_hz = default_clock_hz) ?(cycle_energy = default_cycle_energy)
       per_tick = compute_per_tick clock_hz;
       cycles = 0;
       outage_count = 0;
-      consumed = 0.0;
+      consumed_cycles = 0;
       tick_base = 0;
       tick_end = 0;
       tick_power = 0.0;
@@ -77,7 +81,7 @@ let always_on () =
       per_tick = compute_per_tick default_clock_hz;
       cycles = 0;
       outage_count = 0;
-      consumed = 0.0;
+      consumed_cycles = 0;
       tick_base = 0;
       tick_end = 0;
       tick_power = 0.0;
@@ -111,7 +115,7 @@ let scripted ?(off_cycles = default_off_cycles) ?(outages = []) () =
       per_tick = compute_per_tick default_clock_hz;
       cycles = 0;
       outage_count = 0;
-      consumed = 0.0;
+      consumed_cycles = 0;
       tick_base = 0;
       tick_end = 0;
       tick_power = 0.0;
@@ -169,7 +173,7 @@ let consume t ~cycles =
   let finish = start + cycles in
   t.cycles <- finish;
   let joules = float_of_int cycles *. t.cycle_energy in
-  t.consumed <- t.consumed +. joules;
+  t.consumed_cycles <- t.consumed_cycles + cycles;
   (match t.script with
   | c :: _ when c <= finish ->
       let rec drop = function
@@ -244,4 +248,42 @@ let wait_for_power t =
 
 let outages t = t.outage_count
 
-let energy_consumed t = t.consumed
+let energy_consumed t = float_of_int t.consumed_cycles *. t.cycle_energy
+
+let never_cuts t = t.infinite && t.script = []
+
+(* Margin covering the float rounding gap between one batched drain and
+   the per-instruction drain sequence the guard stands in for: the
+   sequence's total rounding error is at most one ulp per instruction,
+   so sixteen whole cycles of headroom dwarfs it for any real block. *)
+let assured_margin_cycles = 16
+
+let assured t ~cycles =
+  (not t.forced_off)
+  && (match t.script with [] -> true | c :: _ -> c > t.cycles + cycles)
+  && (t.infinite
+     || Capacitor.usable_energy t.capacitor
+        >= float_of_int (cycles + assured_margin_cycles) *. t.cycle_energy)
+
+let consume_run t ~costs =
+  if t.infinite then begin
+    (* Energy-unconstrained: one batched call is observably identical to
+       the per-cost sequence — the clock advance and (integer) drain
+       accounting are additive, and the script drop/forced-off latch
+       depends only on the final clock position. *)
+    let total = ref 0 in
+    for i = 0 to Array.length costs - 1 do
+      total := !total + Array.unsafe_get costs i
+    done;
+    consume t ~cycles:!total
+  end
+  else begin
+    (* Capacitor-backed: replay the exact per-instruction call sequence
+       so harvest/drain interleaving (and its float rounding) is
+       bit-identical to per-step execution. *)
+    let on = ref true in
+    for i = 0 to Array.length costs - 1 do
+      on := consume t ~cycles:(Array.unsafe_get costs i)
+    done;
+    !on
+  end

@@ -77,8 +77,37 @@ val wait_for_power : t -> int
     recharge the capacitor within a 10-minute simulated window (a
     starved supply). *)
 
+val consume_run : t -> costs:int array -> bool
+(** Consume a whole fused run, [costs] holding each instruction's
+    latency in order.  Observably identical to calling {!consume} once
+    per cost left to right — on a capacitor-backed supply it *is* that
+    call sequence (so harvest/drain float rounding matches per-step
+    execution bit for bit), on an energy-unconstrained supply it
+    collapses to one batched call.  Returns the last consume's power
+    state.  Intended to run under an {!assured} guard; if power dies
+    mid-run anyway, the remaining costs are still consumed (the outage
+    surfaces at the run boundary). *)
+
+val never_cuts : t -> bool
+(** True when this supply can never brown out on its own: energy
+    unconstrained with no scripted outages pending.  [cut] can still
+    force an outage — callers coalescing {!consume} calls under this
+    predicate must flush before cutting.  Monotone: once true it stays
+    true until a [cut]. *)
+
+val assured : t -> cycles:int -> bool
+(** Conservative guard: is the supply guaranteed to stay on through
+    [cycles] more consumed cycles (no scripted cut inside the window,
+    and — for a capacitor — usable charge covering the drain with a
+    16-cycle margin for float rounding, before counting any harvest
+    inflow)?  A [false] answer does not mean power will die, only that
+    it cannot be promised; harvest income during the window is ignored,
+    which is sound because it only adds. *)
+
 val outages : t -> int
 (** Number of brown-outs observed so far. *)
 
 val energy_consumed : t -> float
-(** Total joules drained by the core. *)
+(** Total joules drained by the core: consumed cycles times the cycle
+    energy.  Tracked in integer cycles, so batched multi-instruction
+    consumes report exactly what the per-instruction sequence would. *)

@@ -28,7 +28,15 @@ let policy_name = function
   | Nvp _ -> "nvp"
   | Clank _ -> "clank"
 
-type engine = Fast | Compat
+type engine = Fast | Block | Compat
+
+let engine_name = function Fast -> "fast" | Block -> "block" | Compat -> "compat"
+
+let engine_of_string = function
+  | "fast" -> Some Fast
+  | "block" -> Some Block
+  | "compat" -> Some Compat
+  | _ -> None
 
 type outcome = {
   completed : bool;
@@ -195,7 +203,24 @@ let run ?(policy = Always_on) ?(engine = Fast)
   let next_snapshot =
     ref (match resume with Some r -> r.rs_next_snapshot | None -> snapshot_every)
   in
-  let wall_elapsed () = wall_base + Supply.now_cycles supply - wall_start in
+  (* Consume coalescing: when the supply can never cut power on its own
+     (always-on / scripted with an empty script), per-instruction
+     [Supply.consume] calls are pure clock-and-drain arithmetic — so
+     they are batched into [pending] and flushed only when something
+     reads or changes supply state (a forced cut, an outage, run end).
+     Energy accounting is in integer cycles on the supply side, so the
+     flush is bit-identical to the per-instruction sequence. *)
+  let coalesce = Supply.never_cuts supply in
+  let pending = ref 0 in
+  let flush_pending () =
+    if !pending > 0 then begin
+      ignore (Supply.consume supply ~cycles:!pending);
+      pending := 0
+    end
+  in
+  let wall_elapsed () =
+    wall_base + Supply.now_cycles supply + !pending - wall_start
+  in
   let task_retired () =
     retired_base + Machine.instructions_retired machine - retired_start
   in
@@ -223,7 +248,8 @@ let run ?(policy = Always_on) ?(engine = Fast)
   let spend_overhead cycles =
     overhead := !overhead + cycles;
     region_add cycles;
-    ignore (Supply.consume supply ~cycles)
+    if coalesce then pending := !pending + cycles
+    else ignore (Supply.consume supply ~cycles)
   in
   (* Bind the policy configuration once; the per-instruction loop used
      to re-match [policy] twice per step. *)
@@ -355,7 +381,9 @@ let run ?(policy = Always_on) ?(engine = Fast)
   in
   let handle_outage () =
     (* Power died: this charge's burn window ends here; the restore
-       overhead below opens the next charge's window. *)
+       overhead below opens the next charge's window.  (On a coalescing
+       supply the only way here is a forced cut, which flushed.) *)
+    flush_pending ();
     region_close ();
     incr outage_count;
     ignore (Supply.wait_for_power supply);
@@ -397,7 +425,8 @@ let run ?(policy = Always_on) ?(engine = Fast)
   let post_step ~cycles ~read_addr ~wrote_addr ~wrote_bytes ~was_skm =
     active := !active + cycles;
     region_add cycles;
-    ignore (Supply.consume supply ~cycles);
+    if coalesce then pending := !pending + cycles
+    else ignore (Supply.consume supply ~cycles);
     (match clank with
     | Some (cfg, st) ->
         st.since_ckpt_cycles <- st.since_ckpt_cycles + cycles;
@@ -430,6 +459,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
        budget is cleared so the re-execution after restore runs free. *)
     if Machine.budget_exhausted machine then begin
       Machine.set_step_budget machine None;
+      flush_pending ();
       Supply.cut supply
     end
   in
@@ -451,6 +481,95 @@ let run ?(policy = Always_on) ?(engine = Fast)
         then hook (capture_resume ())
     | _ -> ()
   in
+  let step_fast_once () =
+    Machine.step_fast machine;
+    post_step
+      ~cycles:(Machine.last_cycles machine)
+      ~read_addr:(Machine.last_read_addr machine)
+      ~wrote_addr:(Machine.last_wrote_addr machine)
+      ~wrote_bytes:(Machine.last_wrote_bytes machine)
+      ~was_skm:(Machine.last_was_skm machine)
+  in
+  (* Block engine: hooks that must observe every instruction boundary —
+     the per-step observer, region metering, the fast-forward rejoin
+     probe — force the per-step path for the whole run, keeping the
+     fault survey and the WCEC soundness oracle exact. *)
+  let may_fuse =
+    Option.is_none on_step && Option.is_none on_region
+    && Option.is_none fast_forward
+  in
+  (* One guard at block entry, then the whole run in a single call with
+     one batched consume and one post-step.  Each conjunct ensures some
+     per-instruction check could not have fired at an *interior*
+     boundary of the run; anything that would fire exactly at the run's
+     final boundary (budget exhaustion, watchdog, keyframe, a scripted
+     cut landing on the last cycle) fires identically after the batched
+     commit.  Any failed conjunct just falls back to per-instruction
+     stepping until the next run entry — bit-identical, merely slower. *)
+  let try_block b =
+    let n = Machine.block_len b in
+    let c = Machine.block_cycles b in
+    Machine.budget_covers machine n
+    && wall_elapsed () + c <= max_wall_cycles
+    && (match snapshot with
+       | Some _ -> !active + c < !next_snapshot
+       | None -> true)
+    && (match (keyframe_every, on_keyframe) with
+       | Some k, Some _ -> k - (task_retired () mod k) >= n
+       | _ -> true)
+    && (match clank with
+       | Some (cfg, st) ->
+           (* No interior pre-step can trip the watchdog, and the read
+              set cannot overflow the buffer mid-run (runs are
+              store-free, so WAR pre-checks are vacuous). *)
+           st.since_ckpt_cycles + Machine.block_pre_cycles b
+           < cfg.watchdog_period
+           && st.tracked + Machine.block_loads b <= cfg.buffer_entries
+       | None -> true)
+    && (coalesce || Supply.assured supply ~cycles:c)
+    && begin
+         Machine.exec_block machine b;
+         active := !active + c;
+         if coalesce then pending := !pending + c
+         else ignore (Supply.consume_run supply ~costs:(Machine.block_costs b));
+         (match clank with
+         | Some (cfg, st) ->
+             st.since_ckpt_cycles <- st.since_ckpt_cycles + c;
+             st.since_ckpt_retired <- st.since_ckpt_retired + n;
+             (* Replay read tracking from the recorded load addresses, in
+                order — no store ran in between, so the shadow-map
+                transitions equal the per-step ones, and the entry guard
+                ruled out an overflow checkpoint. *)
+             for i = 0 to Machine.block_loads b - 1 do
+               let w = word_of_addr (Machine.block_read_addr machine i) in
+               if shadow_bits st w land write_bit = 0 then
+                 track cfg st w read_bit
+             done
+         | None -> ());
+         (* Runs latch no skim point, so only the snapshot threshold and
+            the budget remain from the per-step tail.  The threshold can
+            only be crossed here with no snapshot hook installed (the
+            entry guard otherwise kept the whole run below it), so this
+            replays exactly the per-boundary counter advance. *)
+         if !active >= !next_snapshot then begin
+           let costs = Machine.block_costs b in
+           let a = ref (!active - c) in
+           for i = 0 to n - 1 do
+             a := !a + Array.unsafe_get costs i;
+             if !a >= !next_snapshot then begin
+               take_snapshot ();
+               next_snapshot := !next_snapshot + snapshot_every
+             end
+           done
+         end;
+         if Machine.budget_exhausted machine then begin
+           Machine.set_step_budget machine None;
+           flush_pending ();
+           Supply.cut supply
+         end;
+         true
+       end
+  in
   let rec loop () =
     if Machine.halted machine then `Done true
     else if wall_elapsed () > max_wall_cycles then `Done false
@@ -461,14 +580,15 @@ let run ?(policy = Always_on) ?(engine = Fast)
     else begin
       (match clank with Some (cfg, st) -> pre_step cfg st | None -> ());
       (match engine with
-      | Fast ->
-          Machine.step_fast machine;
-          post_step
-            ~cycles:(Machine.last_cycles machine)
-            ~read_addr:(Machine.last_read_addr machine)
-            ~wrote_addr:(Machine.last_wrote_addr machine)
-            ~wrote_bytes:(Machine.last_wrote_bytes machine)
-            ~was_skm:(Machine.last_was_skm machine)
+      | Fast -> step_fast_once ()
+      | Block ->
+          let fused =
+            may_fuse
+            && (match Machine.block_at machine (Machine.pc machine) with
+               | Some b -> try_block b
+               | None -> false)
+          in
+          if not fused then step_fast_once ()
       | Compat ->
           let res = Machine.step machine in
           let read_addr =
@@ -500,6 +620,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
   in
   match loop () with
   | `Done completed ->
+      flush_pending ();
       region_close ();
       take_snapshot ();
       {
@@ -515,6 +636,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
         retired = task_retired ();
       }
   | `Fast_forward ff ->
+      flush_pending ();
       (* The machine is left at the matched state, not at halt, and the
          snapshot hook is not replayed for the skipped tail. *)
       {

@@ -39,13 +39,29 @@ type policy = Always_on | Nvp of nvp_config | Clank of clank_config
 
 val policy_name : policy -> string
 
-type engine = Fast | Compat
+type engine = Fast | Block | Compat
 (** Which machine stepping interface drives the loop.  [Fast] (the
     default) uses [Machine.step_fast] and the scratch-field effect
-    accessors — no per-instruction allocation.  [Compat] drives the
-    original [Machine.step] record interface.  The two are observably
-    identical (the differential suite asserts it); [Compat] exists as
-    the cross-check and for callers instrumenting [step_result]. *)
+    accessors — no per-instruction allocation.  [Block] additionally
+    executes fused straight-line superinstructions
+    ({!Wn_machine.Machine.exec_block}) whenever one energy-gated entry
+    guard passes — step budget covers the run length, watchdog slack
+    and Clank tracking capacity cover the run, the capacitor's usable
+    charge covers the run's worst-case energy, and no snapshot/keyframe
+    boundary lands inside it — with one batched supply consume and one
+    post-step; any failed guard (or a hook that must observe every
+    instruction boundary: [on_step], [on_region], [fast_forward]) falls
+    back to per-instruction stepping until the next run entry, so fault
+    injection at any instruction boundary still works.  [Compat] drives
+    the original [Machine.step] record interface.  All three are
+    observably identical (the differential suite asserts it); [Compat]
+    exists as the cross-check and for callers instrumenting
+    [step_result]. *)
+
+val engine_name : engine -> string
+
+val engine_of_string : string -> engine option
+(** ["fast"], ["block"] or ["compat"]. *)
 
 type outcome = {
   completed : bool;  (** reached [Halt] (possibly via a skim jump) *)

@@ -24,6 +24,20 @@ An unknown harvesting trace:
   wn: unknown trace "bogus" (know: rf, square, constant)
   [124]
 
+An unknown stepping engine, on every subcommand that takes one:
+
+  $ wn figure fig9 --engine bogus
+  wn: unknown engine "bogus" (know: fast, block, compat)
+  [124]
+
+  $ wn inject MatAdd --engine bogus
+  wn: unknown engine "bogus" (know: fast, block, compat)
+  [124]
+
+  $ wn fleet MatAdd --engine bogus
+  wn: unknown engine "bogus" (know: fast, block, compat)
+  [124]
+
 Malformed sweep parameters.  A non-integer is rejected by the option
 parser; a nonsensical integer by the command's own validation:
 
@@ -79,6 +93,14 @@ outage points on the smallest kernel, one system, skim off):
   $ wn inject MatAdd --points 2 --system clank --skim off | head -1
   fault sweep: MatAdd system=checkpoint-volatile build=precise bits=8
 
+The stepping engine never shows in a report: the same sweep is
+byte-identical under all three engines and any --jobs width:
+
+  $ wn inject MatAdd --points 5 --system clank --jobs 1 --engine block > sweep-block.out
+  $ wn inject MatAdd --points 5 --system clank --jobs 2 --engine fast > sweep-fast.out
+  $ wn inject MatAdd --points 5 --system clank --jobs 1 --engine compat > sweep-compat.out
+  $ cmp sweep-block.out sweep-fast.out && cmp sweep-block.out sweep-compat.out
+
 The fleet service validates its descriptor before simulating, and an
 unknown benchmark gets the same one-line diagnostic as `wn run`:
 
@@ -114,3 +136,11 @@ stable report):
     energy uJ/task mean 38.0285  sd 1.1398  min 36.1680  p50 38.5690  p90 39.2230  p99 39.2230  max 39.2230
     outages/task   mean 3.0000  sd 0.0000  min 3.0000  p50 3.0000  p90 3.0000  p99 3.0000  max 3.0000
     on-time %      mean 0.4923  sd 0.1477  min 0.3028  p50 0.4751  p90 0.7174  p99 0.7174  max 0.7174
+
+The same fleet is byte-identical across engines and --jobs widths
+(engine choice only affects simulation speed, never results):
+
+  $ wn fleet MatAdd --devices 4 --batch 2 --engine block --jobs 1 2>/dev/null > fleet-block.out
+  $ wn fleet MatAdd --devices 4 --batch 2 --engine fast --jobs 2 2>/dev/null > fleet-fast.out
+  $ wn fleet MatAdd --devices 4 --batch 2 --engine compat --jobs 1 2>/dev/null > fleet-compat.out
+  $ cmp fleet-block.out fleet-fast.out && cmp fleet-block.out fleet-compat.out

@@ -700,6 +700,77 @@ let test_suite_clean () =
         [ 4; 8; 16 ])
     (Wn_workloads.Suite.extended Wn_workloads.Workload.Small)
 
+(* ---------------- block fusion vs the WCEC model ----------------
+
+   The block engine's entry guard charges a fused run its precomputed
+   worst-case cycle total; forward-progress soundness rests on that
+   total being exactly the WCEC model's price for the same pc range.
+   Fusible instructions all have statically fixed latency (a multiply
+   is only fusible when it cannot be memoized or zero-skipped), so this
+   is an equality, not a bound. *)
+
+let check_fusion_against_wcec name program =
+  let cfg = Cfg.build program in
+  List.iter
+    (fun memoizable ->
+      let plan = Fuse.plan ~memoizable program in
+      List.iter
+        (fun (r : Fuse.run) ->
+          let first = r.Fuse.r_first in
+          let last = first + r.Fuse.r_len - 1 in
+          if r.Fuse.r_len < Fuse.min_run_len then
+            Alcotest.failf "%s: run at %d shorter than min_run_len" name first;
+          let wcec = ref 0 in
+          for pc = first to last do
+            if not (Fuse.fusible ~memoizable program.(pc)) then
+              Alcotest.failf "%s: non-fusible instruction inside run at %d"
+                name pc;
+            wcec := !wcec + Energy.worst_cycles program.(pc)
+          done;
+          if !wcec <> r.Fuse.r_cycles then
+            Alcotest.failf "%s: run at %d prices %d cycles, WCEC model says %d"
+              name first r.Fuse.r_cycles !wcec;
+          (* A run never crosses a basic-block boundary: same CFG block
+             throughout, and no jump target strictly inside it. *)
+          let blk = cfg.Cfg.block_of.(first) in
+          for pc = first + 1 to last do
+            if cfg.Cfg.block_of.(pc) <> blk then
+              Alcotest.failf "%s: run at %d spans CFG blocks" name first;
+            if (cfg.Cfg.blocks.(cfg.Cfg.block_of.(pc))).Cfg.first = pc then
+              Alcotest.failf "%s: jump target inside run at %d" name first
+          done)
+        plan)
+    [ false; true ]
+
+let test_fuse_wcec_suite () =
+  List.iter
+    (fun (w : Wn_workloads.Workload.t) ->
+      List.iter
+        (fun (label, options) ->
+          let source =
+            w.Wn_workloads.Workload.source
+              { Wn_workloads.Workload.bits = 8; provisioned = true }
+          in
+          let compiled = Wn_compiler.Compile.compile_source ~options source in
+          check_fusion_against_wcec
+            (Printf.sprintf "%s %s" w.Wn_workloads.Workload.name label)
+            compiled.Wn_compiler.Compile.program)
+        [
+          ("anytime", Wn_compiler.Compile.anytime);
+          ("precise", Wn_compiler.Compile.precise);
+        ])
+    (Wn_workloads.Suite.all Wn_workloads.Workload.Small)
+
+let prop_fuse_wcec_random =
+  QCheck.Test.make ~count:200 ~name:"fused runs price exactly their WCEC"
+    Gen_wnc.arbitrary (fun spec ->
+      let compiled =
+        Wn_compiler.Compile.compile ~options:Wn_compiler.Compile.precise
+          spec.Gen_wnc.program
+      in
+      check_fusion_against_wcec "random" compiled.Wn_compiler.Compile.program;
+      true)
+
 let () =
   Alcotest.run "wn.analysis"
     [
@@ -761,4 +832,7 @@ let () =
           Alcotest.test_case "diagnostics" `Quick test_progress_diagnostics;
         ] );
       ("suite", [ Alcotest.test_case "lints clean" `Quick test_suite_clean ]);
+      ( "fuse",
+        Alcotest.test_case "suite WCEC equality" `Quick test_fuse_wcec_suite
+        :: List.map QCheck_alcotest.to_alcotest [ prop_fuse_wcec_random ] );
     ]

@@ -112,6 +112,103 @@ let lockstep_workload wname (cfg_name, mcfg) () =
   check_machines_equal name m_ref m_fast;
   if !steps = 0 then Alcotest.fail "workload executed no instructions"
 
+(* ---------------- machine-level: step_block vs reference ----------------
+
+   The block engine retires whole fused runs per dispatch, so the
+   lockstep drives the reference interpreter forward to the block
+   machine's retirement count after every dispatch and compares
+   architectural state there — every block boundary is checked, and
+   per-instruction fallback steps degenerate to the per-step lockstep
+   above. *)
+
+let lockstep_block_workload wname (cfg_name, mcfg) () =
+  let w = Suite.find Workload.Small wname in
+  let b = Wn_core.Runner.build w wcfg in
+  let m_ref = Wn_core.Runner.machine ~machine_config:mcfg b in
+  let m_blk = Wn_core.Runner.machine ~machine_config:mcfg b in
+  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 42) in
+  Wn_core.Runner.load_sample b m_ref inputs;
+  Wn_core.Runner.load_sample b m_blk inputs;
+  let name = Printf.sprintf "%s/%s/block" wname cfg_name in
+  let dispatches = ref 0 in
+  let fused_dispatches = ref 0 in
+  while (not (Machine.halted m_blk)) && !dispatches < max_lockstep_steps do
+    incr dispatches;
+    let before = Machine.instructions_retired m_blk in
+    Machine.step_block m_blk;
+    let after = Machine.instructions_retired m_blk in
+    if after - before > 1 then incr fused_dispatches;
+    for _ = 1 to after - before do
+      ignore (Machine.step_reference m_ref)
+    done;
+    if Machine.pc m_ref <> Machine.pc m_blk then
+      Alcotest.failf "%s dispatch %d: pc %d vs %d" name !dispatches
+        (Machine.pc m_ref) (Machine.pc m_blk)
+  done;
+  check_machines_equal name m_ref m_blk;
+  if !fused_dispatches = 0 then
+    Alcotest.failf "%s: no fused block was ever dispatched" name
+
+(* Fused-run metadata must agree with the planner it was compiled from:
+   same runs, same worst-case cycle totals, same load counts. *)
+let test_block_table_matches_plan () =
+  List.iter
+    (fun wname ->
+      let w = Suite.find Workload.Small wname in
+      let b = Wn_core.Runner.build w wcfg in
+      let m = Wn_core.Runner.machine b in
+      let program = Machine.program m in
+      let plan = Wn_analysis.Fuse.plan ~memoizable:false program in
+      List.iter
+        (fun (r : Wn_analysis.Fuse.run) ->
+          match Machine.block_at m r.Wn_analysis.Fuse.r_first with
+          | None ->
+              Alcotest.failf "%s: no fused block at pc %d" wname
+                r.Wn_analysis.Fuse.r_first
+          | Some blk ->
+              Alcotest.(check int) "len" r.Wn_analysis.Fuse.r_len
+                (Machine.block_len blk);
+              Alcotest.(check int) "cycles" r.Wn_analysis.Fuse.r_cycles
+                (Machine.block_cycles blk);
+              Alcotest.(check int) "loads" r.Wn_analysis.Fuse.r_loads
+                (Machine.block_loads blk);
+              Alcotest.(check int) "wn" r.Wn_analysis.Fuse.r_wn
+                (Machine.block_wn blk))
+        plan)
+    Suite.names
+
+(* Snapshot/restore round-trip taken mid-run between block dispatches:
+   the resumed machine must finish in the same state as the
+   uninterrupted one. *)
+let test_block_snapshot_roundtrip () =
+  let w = Suite.find Workload.Small "Var" in
+  let b = Wn_core.Runner.build w wcfg in
+  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 3) in
+  let m1 = Wn_core.Runner.machine b in
+  Wn_core.Runner.load_sample b m1 inputs;
+  (* Uninterrupted block-engine run to halt. *)
+  let steps = ref 0 in
+  while (not (Machine.halted m1)) && !steps < max_lockstep_steps do
+    incr steps;
+    Machine.step_block m1
+  done;
+  (* Interrupted run: snapshot after 40 dispatches, restore into a
+     fresh machine, finish under the block engine. *)
+  let m2 = Wn_core.Runner.machine b in
+  Wn_core.Runner.load_sample b m2 inputs;
+  for _ = 1 to 40 do
+    Machine.step_block m2
+  done;
+  let snap = Machine.snapshot m2 in
+  let m3 = Wn_core.Runner.machine b in
+  Machine.restore m3 snap;
+  let steps = ref 0 in
+  while (not (Machine.halted m3)) && !steps < max_lockstep_steps do
+    incr steps;
+    Machine.step_block m3
+  done;
+  check_machines_equal "Var/block snapshot roundtrip" m1 m3
+
 (* The [step] wrapper must report exactly what [step_reference] does. *)
 let test_step_wrapper () =
   let w = Suite.find Workload.Small "Var" in
@@ -154,34 +251,69 @@ let run_with_engine engine b w inputs policy =
   ignore w;
   (outcome, Wn_mem.Memory.snapshot (Machine.mem m))
 
-let executor_differential wname (pname, policy) () =
-  let w = Suite.find Workload.Small wname in
-  let b = Wn_core.Runner.build w wcfg in
-  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 11) in
-  let o_fast, mem_fast = run_with_engine Executor.Fast b w inputs policy in
-  let o_compat, mem_compat = run_with_engine Executor.Compat b w inputs policy in
-  let name = Printf.sprintf "%s/%s" wname pname in
+let check_outcomes_equal name (o_a, mem_a) (o_b, mem_b) =
   let check_int field a b =
     if a <> b then Alcotest.failf "%s: %s %d vs %d" name field a b
   in
-  check_int "wall_cycles" o_fast.Executor.wall_cycles o_compat.Executor.wall_cycles;
-  check_int "active_cycles" o_fast.Executor.active_cycles
-    o_compat.Executor.active_cycles;
-  check_int "overhead_cycles" o_fast.Executor.overhead_cycles
-    o_compat.Executor.overhead_cycles;
-  check_int "reexecuted" o_fast.Executor.reexecuted_instructions
-    o_compat.Executor.reexecuted_instructions;
-  check_int "outages" o_fast.Executor.outage_count o_compat.Executor.outage_count;
-  check_int "checkpoints" o_fast.Executor.checkpoint_count
-    o_compat.Executor.checkpoint_count;
-  check_int "retired" o_fast.Executor.retired o_compat.Executor.retired;
-  if o_fast.Executor.completed <> o_compat.Executor.completed then
+  check_int "wall_cycles" o_a.Executor.wall_cycles o_b.Executor.wall_cycles;
+  check_int "active_cycles" o_a.Executor.active_cycles
+    o_b.Executor.active_cycles;
+  check_int "overhead_cycles" o_a.Executor.overhead_cycles
+    o_b.Executor.overhead_cycles;
+  check_int "reexecuted" o_a.Executor.reexecuted_instructions
+    o_b.Executor.reexecuted_instructions;
+  check_int "outages" o_a.Executor.outage_count o_b.Executor.outage_count;
+  check_int "checkpoints" o_a.Executor.checkpoint_count
+    o_b.Executor.checkpoint_count;
+  check_int "retired" o_a.Executor.retired o_b.Executor.retired;
+  if o_a.Executor.completed <> o_b.Executor.completed then
     Alcotest.failf "%s: completed differs" name;
-  if o_fast.Executor.skimmed <> o_compat.Executor.skimmed then
+  if o_a.Executor.skimmed <> o_b.Executor.skimmed then
     Alcotest.failf "%s: skimmed differs" name;
-  if o_fast.Executor.first_skim_active <> o_compat.Executor.first_skim_active
-  then Alcotest.failf "%s: first_skim_active differs" name;
-  if mem_fast <> mem_compat then Alcotest.failf "%s: memory images differ" name
+  if o_a.Executor.first_skim_active <> o_b.Executor.first_skim_active then
+    Alcotest.failf "%s: first_skim_active differs" name;
+  if mem_a <> mem_b then Alcotest.failf "%s: memory images differ" name
+
+(* All three engines, both builds (anytime with skim points and the
+   precise baseline), every policy: identical outcomes and memories. *)
+let executor_differential wname ~skim (pname, policy) () =
+  let w = Suite.find Workload.Small wname in
+  let b = Wn_core.Runner.build ~precise:(not skim) w wcfg in
+  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 11) in
+  let fast = run_with_engine Executor.Fast b w inputs policy in
+  let block = run_with_engine Executor.Block b w inputs policy in
+  let compat = run_with_engine Executor.Compat b w inputs policy in
+  let name =
+    Printf.sprintf "%s/%s/skim-%s" wname pname (if skim then "on" else "off")
+  in
+  check_outcomes_equal (name ^ "/block-vs-fast") block fast;
+  check_outcomes_equal (name ^ "/compat-vs-fast") compat fast
+
+(* The Always_on batching path: when the supply can never cut power the
+   Block engine coalesces supply consumes into one pending counter per
+   block; the supply's cycle and energy accounting must come out
+   exactly as Fast's per-instruction consume sequence. *)
+let coalescing_regression wname () =
+  let w = Suite.find Workload.Small wname in
+  let b = Wn_core.Runner.build w wcfg in
+  let inputs = w.Workload.fresh_inputs (Wn_util.Rng.create 13) in
+  let run engine =
+    let m = Wn_core.Runner.machine b in
+    Wn_core.Runner.load_sample b m inputs;
+    let supply = Wn_power.Supply.always_on () in
+    let o = Executor.run ~policy:Executor.Always_on ~engine ~machine:m ~supply () in
+    (o, Wn_power.Supply.now_cycles supply, Wn_power.Supply.energy_consumed supply)
+  in
+  let o_f, cycles_f, energy_f = run Executor.Fast in
+  let o_b, cycles_b, energy_b = run Executor.Block in
+  if cycles_f <> cycles_b then
+    Alcotest.failf "%s: supply clock %d vs %d cycles" wname cycles_f cycles_b;
+  if energy_f <> energy_b then
+    Alcotest.failf "%s: energy %.12g vs %.12g J" wname energy_f energy_b;
+  if o_f.Executor.wall_cycles <> o_b.Executor.wall_cycles then
+    Alcotest.failf "%s: wall cycles differ" wname;
+  if o_f.Executor.active_cycles <> o_b.Executor.active_cycles then
+    Alcotest.failf "%s: active cycles differ" wname
 
 (* ---------------- zero allocation ---------------- *)
 
@@ -232,6 +364,30 @@ let test_step_fast_no_alloc () =
       allocated;
   if Machine.halted m then Alcotest.fail "probe program halted inside window"
 
+(* Block dispatch must stay allocation-free too: the fused table and
+   read ring are built once on the first dispatch (inside the warm-up),
+   after which executing a block is pure mutation. *)
+let test_step_block_no_alloc () =
+  let mem = Wn_mem.Memory.create ~size:256 in
+  let config = { Machine.memo_entries = Some 16; Machine.zero_skip = true } in
+  let m = Machine.create ~config ~program:alloc_probe_program ~mem () in
+  for _ = 1 to 1_000 do
+    Machine.step_block m
+  done;
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let baseline = b -. a in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Machine.step_block m
+  done;
+  let w1 = Gc.minor_words () in
+  let allocated = w1 -. w0 -. baseline in
+  if allocated <> 0.0 then
+    Alcotest.failf
+      "step_block allocated %.0f minor words over 10k dispatches" allocated;
+  if Machine.halted m then Alcotest.fail "probe program halted inside window"
+
 let () =
   let lockstep_cases =
     List.concat_map
@@ -245,24 +401,60 @@ let () =
           machine_configs)
       Suite.names
   in
-  let executor_cases =
+  let block_lockstep_cases =
     List.concat_map
       (fun wname ->
         List.map
-          (fun p ->
+          (fun (cfg_name, mcfg) ->
             Alcotest.test_case
-              (Printf.sprintf "%s %s" wname (fst p))
+              (Printf.sprintf "%s %s" wname cfg_name)
               `Quick
-              (executor_differential wname p))
-          policies)
+              (lockstep_block_workload wname (cfg_name, mcfg)))
+          machine_configs)
+      Suite.names
+  in
+  let executor_cases =
+    List.concat_map
+      (fun wname ->
+        List.concat_map
+          (fun skim ->
+            List.map
+              (fun p ->
+                Alcotest.test_case
+                  (Printf.sprintf "%s %s skim-%s" wname (fst p)
+                     (if skim then "on" else "off"))
+                  `Quick
+                  (executor_differential wname ~skim p))
+              policies)
+          [ true; false ])
       [ "Var"; "Home"; "MatAdd" ]
+  in
+  let coalescing_cases =
+    List.map
+      (fun wname ->
+        Alcotest.test_case wname `Quick (coalescing_regression wname))
+      [ "Var"; "MatAdd" ]
   in
   Alcotest.run "wn.fastpath"
     [
       ("machine lockstep", lockstep_cases);
+      ("block lockstep", block_lockstep_cases);
+      ( "block table",
+        [
+          Alcotest.test_case "matches fusion plan" `Quick
+            test_block_table_matches_plan;
+          Alcotest.test_case "snapshot roundtrip" `Quick
+            test_block_snapshot_roundtrip;
+        ] );
       ( "step wrapper",
         [ Alcotest.test_case "record identical" `Quick test_step_wrapper ] );
-      ("executor fast vs compat", executor_cases);
+      ("executor engines", executor_cases);
+      ("always-on coalescing", coalescing_cases);
       ( "allocation",
-        [ Alcotest.test_case "step_fast allocation-free" `Quick test_step_fast_no_alloc ] );
+        [
+          Alcotest.test_case "step_fast allocation-free" `Quick
+            test_step_fast_no_alloc;
+          Alcotest.test_case "step_block allocation-free" `Quick
+            test_step_block_no_alloc;
+        ] );
     ]
