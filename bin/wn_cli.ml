@@ -7,6 +7,8 @@
      wn figure ID ...             regenerate a table/figure of the paper
      wn inject BENCH ...          outage-point fault-injection sweep
      wn fleet BENCH ...           fleet-scale deployment simulation
+     wn compile [BENCH] ...       run the pass pipeline, lint after every pass
+     wn insn [BENCH ...]          dynamic instruction counts (the CI gate)
      wn disasm BENCH ...          show the compiled WN-32 program
      wn lint BENCH ...            static verification of the compiled program
      wn verify BENCH ...          static forward-progress (WCEC) verification
@@ -764,6 +766,185 @@ let verify_cmd =
        $ runtime_arg $ cap_arg $ v_on_arg $ v_off_arg $ watchdog_arg
        $ json_arg))
 
+(* ---------------- wn compile ---------------- *)
+
+let compile_cmd =
+  let bench_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Benchmark name (Conv2d, MatMul, MatAdd, Home, Var, NetMotion); \
+             omit with $(b,--file).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Compile WNC source from $(docv) instead of a benchmark.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail on the first pass whose linted output carries an \
+             error-severity finding, reporting that pass's complete \
+             findings.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-after" ] ~docv:"PASS"
+          ~doc:
+            "Print the program as it leaves $(docv) (IR passes print \
+             statements, assembly passes a listing).  See \
+             $(b,--list-passes) for the names.")
+  in
+  let list_passes_arg =
+    Arg.(
+      value & flag
+      & info [ "list-passes" ]
+          ~doc:"List the pipeline's passes in execution order and exit.")
+  in
+  let no_opt_arg =
+    Arg.(
+      value & flag
+      & info [ "no-opt" ]
+          ~doc:
+            "Disable the optional optimizer passes (constfold, \
+             strength-reduce, licm, addr-cse); the pipeline's spine \
+             still runs.")
+  in
+  let run bench file scale bits precise strict dump_after list_passes no_opt =
+    let options =
+      let base =
+        if precise then Wn_compiler.Compile.precise
+        else Wn_compiler.Compile.anytime
+      in
+      if no_opt then
+        { base with Wn_compiler.Compile.passes = Wn_compiler.Compile.no_passes }
+      else base
+    in
+    if list_passes then begin
+      List.iter print_endline (Wn_compiler.Compile.pass_names options);
+      Ok ()
+    end
+    else
+      let* source =
+        match (bench, file) with
+        | _, Some path -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | s -> Ok s
+            | exception Sys_error e -> Error (`Msg e))
+        | Some b, None ->
+            let* w = find_bench scale b in
+            Ok (w.Workload.source { Workload.bits; provisioned = true })
+        | None, None -> Error (`Msg "need a BENCH argument or --file")
+      in
+      catch_compile_error @@ fun () ->
+      let compiled =
+        Wn_compiler.Compile.compile_source ~options ~strict ?dump_after source
+      in
+      (match dump_after with
+      | Some pass ->
+          List.iter
+            (fun (name, text) ->
+              Printf.printf "; after pass %s\n%s" name text;
+              if text = "" || text.[String.length text - 1] <> '\n' then
+                print_newline ())
+            (List.filter
+               (fun (name, _) -> name = pass)
+               compiled.Wn_compiler.Compile.dumps)
+      | None ->
+          Printf.printf "%d instructions, %d bytes of code, %d bytes of data\n"
+            (Array.length compiled.Wn_compiler.Compile.program)
+            (Wn_compiler.Compile.code_size_bytes compiled)
+            compiled.Wn_compiler.Compile.data_bytes);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Run the pass pipeline over a benchmark or a WNC source file, \
+          linting after every pass")
+    Term.(
+      term_result
+        (const run $ bench_opt_arg $ file_arg $ scale_arg $ bits_arg
+       $ precise_arg $ strict_arg $ dump_arg $ list_passes_arg $ no_opt_arg))
+
+(* ---------------- wn insn ---------------- *)
+
+let insn_cmd =
+  let benches_arg =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark name(s); defaults to the whole suite.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:
+            "Compare against the committed baseline (BASELINE_insn.json) \
+             and exit non-zero if any counter retires more instructions \
+             than it records.")
+  in
+  let run benches scale bits seed json check =
+    let* _ = require_non_negative "seed" seed in
+    let* ws =
+      match benches with
+      | [] -> Ok (Suite.all scale)
+      | names ->
+          List.fold_right
+            (fun name acc ->
+              let* ws = acc in
+              let* w = find_bench scale name in
+              Ok (w :: ws))
+            names (Ok [])
+    in
+    catch_compile_error @@ fun () ->
+    let report = Wn_core.Insn.measure ~seed ~bits ~scale ws in
+    if json then print_string (Wn_core.Insn.json report)
+    else Format.printf "%a@?" Wn_core.Insn.pp report;
+    match check with
+    | None -> Ok ()
+    | Some path -> (
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error e -> Error (`Msg e)
+        | baseline -> (
+            match Wn_core.Insn.check ~baseline report with
+            | [] -> Ok ()
+            | regs ->
+                List.iter
+                  (fun (r : Wn_core.Insn.regression) ->
+                    Printf.eprintf "REGRESSION %s: %d retired (baseline %d)\n"
+                      r.Wn_core.Insn.key r.Wn_core.Insn.current
+                      r.Wn_core.Insn.baseline)
+                  regs;
+                Error
+                  (`Msg
+                     (Printf.sprintf
+                        "%d instruction-count regression(s) vs %s"
+                        (List.length regs) path))))
+  in
+  Cmd.v
+    (Cmd.info "insn"
+       ~doc:
+         "Measure dynamic (retired) instruction counts per benchmark — \
+          precise, anytime and optimizer-off builds — plus the CI \
+          gate's scenario counters")
+    Term.(
+      term_result
+        (const run $ benches_arg $ scale_arg $ bits_arg $ seed_arg $ json_arg
+       $ check_arg))
+
 let source_cmd =
   let run bench scale bits =
     match find_bench scale bench with
@@ -785,4 +966,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; curve_cmd; figure_cmd; inject_cmd; fleet_cmd;
-            disasm_cmd; lint_cmd; verify_cmd; source_cmd ]))
+            compile_cmd; insn_cmd; disasm_cmd; lint_cmd; verify_cmd;
+            source_cmd ]))

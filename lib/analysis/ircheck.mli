@@ -1,0 +1,31 @@
+(** IR-level lint: structural invariants every compiler pass must
+    preserve.
+
+    The pass pipeline runs this after {e every} IR-to-IR pass, so a
+    pass that breaks an invariant is caught immediately and blamed by
+    name, instead of surfacing later as an opaque code-generator error.
+    The checks mirror exactly what the code generator will reject (or
+    silently miscompile):
+
+    - [ir-scope]: every variable read is declared first, under the
+      code generator's scoping rules (blocks free their declarations,
+      [for] variables shadow, [Decl] of a live name reuses it);
+    - [ir-pressure]: peak local-register pressure fits the 7-register
+      local pool;
+    - [ir-bounds]: array references name a known global; constant
+      indices — element or raw byte offsets — stay inside it;
+    - [ir-form]: internal forms sit where the code generator accepts
+      them ([Sub_load] as a [Mul_asp] operand, [Raw_off] as an array
+      index, comparisons only as [if]/loop conditions, shift amounts
+      constant and in range);
+    - [ir-loop]: loop steps are at least 1 and encodable.
+
+    All findings are error severity: a dirty IR is a compiler bug, not
+    a program property. *)
+
+val stmts :
+  globals:Wn_lang.Ast.global list ->
+  Wn_lang.Ast.stmt list ->
+  Diag.t list
+(** [stmts ~globals body] checks a kernel body against the
+    storage-level global declarations. *)

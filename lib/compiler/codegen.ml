@@ -93,6 +93,16 @@ let elem_width ty : Instr.width =
 
 let scale_shift ty = match ty_bytes ty with 1 -> 0 | 2 -> 1 | _ -> 2
 
+(* Split a [Raw_off] payload into its static byte offset and dynamic
+   part.  The static part folds into the materialised base address, so
+   [a[@(iv + 8)]] costs exactly what [a[@iv]] costs. *)
+let raw_parts = function
+  | Int k -> (k, None)
+  | Var _ as v -> (0, Some v)
+  | Binop (Add, (Var _ as v), Int k) | Binop (Add, Int k, (Var _ as v)) ->
+      (k, Some v)
+  | e -> (0, Some e)
+
 (* Load arr[idx-already-in-reg] into [reg]: scale the index, point
    [addr_tmp] at the base, and use register-offset addressing.
    [addr_tmp]'s liveness never spans an [eval], so nesting is safe. *)
@@ -116,6 +126,25 @@ let rec eval st e dest rest =
         (Instr.Ldr
            { width = elem_width g.g_ty; signed = ty_signed g.g_ty; rd = dest;
              base = dest; off = 0 })
+  | Load (arr, Raw_off off) -> (
+      (* the index is already a byte offset: no scale shift, and any
+         static part rides along in the materialised base address *)
+      let g = global_of st arr in
+      let width = elem_width g.g_ty and signed = ty_signed g.g_ty in
+      match raw_parts off with
+      | k, None ->
+          emit_const st dest (u32 (address_of st arr + k));
+          emit st (Instr.Ldr { width; signed; rd = dest; base = dest; off = 0 })
+      | k, Some (Var v) ->
+          emit_const st addr_tmp (u32 (address_of st arr + k));
+          emit st
+            (Instr.Ldr_reg
+               { width; signed; rd = dest; base = addr_tmp; idx = local_reg st v })
+      | k, Some off ->
+          eval st off dest rest;
+          emit_const st addr_tmp (u32 (address_of st arr + k));
+          emit st
+            (Instr.Ldr_reg { width; signed; rd = dest; base = addr_tmp; idx = dest }))
   | Load (arr, idx) ->
       let g = global_of st arr in
       eval st idx dest rest;
@@ -124,6 +153,7 @@ let rec eval st e dest rest =
   | Bnot a -> eval st (Binop (Xor, a, Int 0xFFFF_FFFF)) dest rest
   | Binop (op, a, b) -> eval_binop st op a b dest rest
   | Sub_load _ -> err "codegen: subword load outside MUL_ASP"
+  | Raw_off _ -> err "codegen: raw byte offset outside an array index"
   | Mul_asp
       (Load (a1, i1), Sub_load { sl_arr; sl_index; sl_shift }, spec)
     when a1 = sl_arr && i1 = sl_index ->
@@ -255,9 +285,33 @@ and eval_subword st sub spec t rest =
       let base = address_of st sl_arr in
       let byte_off = sl_shift / 8 and residual = sl_shift mod 8 in
       if residual + spec.asp_bits <= 8 then begin
+        let load_at_t () =
+          emit st
+            (Instr.Ldr
+               { width = Instr.Byte; signed = false; rd = t; base = t; off = 0 })
+        in
+        let load_indexed idx_reg k =
+          emit_const st addr_tmp (u32 (base + byte_off + k));
+          emit st
+            (Instr.Ldr_reg
+               { width = Instr.Byte; signed = false; rd = t; base = addr_tmp;
+                 idx = idx_reg })
+        in
         (match sl_index with
         | Int n ->
-            emit_const st t (base + (n * ty_bytes g.g_ty) + byte_off)
+            emit_const st t (base + (n * ty_bytes g.g_ty) + byte_off);
+            load_at_t ()
+        | Raw_off off -> (
+            (* byte offset already scaled: the subword's byte rides on
+               the same register the element accesses index with *)
+            match raw_parts off with
+            | k, None ->
+                emit_const st t (u32 (base + byte_off + k));
+                load_at_t ()
+            | k, Some (Var v) -> load_indexed (local_reg st v) k
+            | k, Some off ->
+                eval st off t rest;
+                load_indexed t k)
         | idx ->
             eval st idx t rest;
             let sh = scale_shift g.g_ty in
@@ -265,9 +319,8 @@ and eval_subword st sub spec t rest =
             if byte_off > 0 then
               emit st (Instr.Alu_imm (Instr.Add, t, t, byte_off));
             emit_const st addr_tmp base;
-            emit st (Instr.Alu (Instr.Add, t, addr_tmp, t)));
-        emit st
-          (Instr.Ldr { width = Instr.Byte; signed = false; rd = t; base = t; off = 0 });
+            emit st (Instr.Alu (Instr.Add, t, addr_tmp, t));
+            load_at_t ());
         if residual > 0 then emit st (Instr.Shift (Instr.Lsr, t, t, residual))
       end
       else begin
@@ -287,6 +340,7 @@ let negate_cond : binop -> Cond.t = function
 
 let r0 = Reg.r 0
 let r1 = Reg.r 1
+let r2 = Reg.r 2
 
 let rest_after rs = List.filter (fun r -> not (List.memq r rs)) scratch
 
@@ -308,16 +362,23 @@ let emit_cond_branch st cond ~negated_to:target =
 let rec gen_stmt st stmt =
   match stmt with
   | Decl (name, e) -> (
+      let reads_self = ref false in
+      iter_expr
+        (fun e -> match e with Var x when x = name -> reads_self := true | _ -> ())
+        e;
       match lookup_local st name with
-      | Some r ->
+      | Some r when not !reads_self ->
           (* Loop fission replicates declarations; re-declaration in the
-             same scope reuses the register. *)
+             same scope reuses the register, and the initialiser can
+             evaluate straight into it. *)
+          eval st e r (rest_after [])
+      | Some r ->
           eval st e r0 (rest_after [ r0 ]);
           emit st (Instr.Mov (r, r0))
       | None ->
-          eval st e r0 (rest_after [ r0 ]);
+          if !reads_self then ignore (local_reg st name);
           let r = alloc_local st name in
-          emit st (Instr.Mov (r, r0)))
+          eval st e r (rest_after []))
   | Assign (Lvar v, e) -> (
       let rv = local_reg st v in
       let mentions_v e =
@@ -365,20 +426,82 @@ let rec gen_stmt st stmt =
           emit st (Instr.Mov (rv, r0)))
   | Assign (Larr (arr, idx), e) ->
       let g = global_of st arr in
+      let width = elem_width g.g_ty in
       eval st e r0 (rest_after [ r0 ]);
       (match idx with
       | Int n ->
           emit_const st r1 (address_of st arr + (n * ty_bytes g.g_ty));
-          emit st
-            (Instr.Str { width = elem_width g.g_ty; rs = r0; base = r1; off = 0 })
+          emit st (Instr.Str { width; rs = r0; base = r1; off = 0 })
+      | Raw_off off -> (
+          match raw_parts off with
+          | k, None ->
+              emit_const st r1 (u32 (address_of st arr + k));
+              emit st (Instr.Str { width; rs = r0; base = r1; off = 0 })
+          | k, Some (Var v) ->
+              emit_const st addr_tmp (u32 (address_of st arr + k));
+              emit st
+                (Instr.Str_reg
+                   { width; rs = r0; base = addr_tmp; idx = local_reg st v })
+          | k, Some off ->
+              eval st off r1 (rest_after [ r0; r1 ]);
+              emit_const st addr_tmp (u32 (address_of st arr + k));
+              emit st (Instr.Str_reg { width; rs = r0; base = addr_tmp; idx = r1 }))
       | idx ->
           eval st idx r1 (rest_after [ r0; r1 ]);
           let sh = scale_shift g.g_ty in
           if sh > 0 then emit st (Instr.Shift (Instr.Lsl, r1, r1, sh));
           emit_const st addr_tmp (address_of st arr);
-          emit st
-            (Instr.Str_reg
-               { width = elem_width g.g_ty; rs = r0; base = addr_tmp; idx = r1 }))
+          emit st (Instr.Str_reg { width; rs = r0; base = addr_tmp; idx = r1 }))
+  | Aug_assign (Larr (arr, idx), op, e)
+    when (match op with Add | Sub | And | Or | Xor -> true | _ -> false) ->
+      (* a[i] op= e — one address computation feeding both the load and
+         the store.  The desugared form (a[i] = a[i] op e) evaluated the
+         index and re-materialised the base address twice per statement;
+         keeping the address in place halves the addressing work of
+         every accumulation into memory. *)
+      let g = global_of st arr in
+      let width = elem_width g.g_ty and signed = ty_signed g.g_ty in
+      let alu : Instr.alu_op =
+        match op with
+        | Add -> Instr.Add | Sub -> Instr.Sub | And -> Instr.And
+        | Or -> Instr.Orr | Xor -> Instr.Eor
+        | Mul | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge -> assert false
+      in
+      let rmw_at_reg addr_reg =
+        emit st (Instr.Ldr { width; signed; rd = r2; base = addr_reg; off = 0 });
+        emit st (Instr.Alu (alu, r2, r2, r0));
+        emit st (Instr.Str { width; rs = r2; base = addr_reg; off = 0 })
+      in
+      let rmw_indexed idx_reg =
+        emit st
+          (Instr.Ldr_reg { width; signed; rd = r2; base = addr_tmp; idx = idx_reg });
+        emit st (Instr.Alu (alu, r2, r2, r0));
+        emit st
+          (Instr.Str_reg { width; rs = r2; base = addr_tmp; idx = idx_reg })
+      in
+      eval st e r0 (rest_after [ r0 ]);
+      (match idx with
+      | Int n ->
+          emit_const st r1 (u32 (address_of st arr + (n * ty_bytes g.g_ty)));
+          rmw_at_reg r1
+      | Raw_off off -> (
+          match raw_parts off with
+          | k, None ->
+              emit_const st r1 (u32 (address_of st arr + k));
+              rmw_at_reg r1
+          | k, Some (Var v) ->
+              emit_const st addr_tmp (u32 (address_of st arr + k));
+              rmw_indexed (local_reg st v)
+          | k, Some off ->
+              eval st off r1 (rest_after [ r0; r1 ]);
+              emit_const st addr_tmp (u32 (address_of st arr + k));
+              rmw_indexed r1)
+      | idx ->
+          eval st idx r1 (rest_after [ r0; r1 ]);
+          let sh = scale_shift g.g_ty in
+          if sh > 0 then emit st (Instr.Shift (Instr.Lsl, r1, r1, sh));
+          emit_const st addr_tmp (address_of st arr);
+          rmw_indexed r1)
   | Aug_assign (lhs, op, e) ->
       let current =
         match lhs with Lvar v -> Var v | Larr (a, i) -> Load (a, i)

@@ -3,11 +3,37 @@ open Wn_lang
 
 type mode = Precise | Anytime
 
-type options = { mode : mode; vector_loads : bool }
+type passes = {
+  constfold : bool;
+  strength_reduce : bool;
+  licm : bool;
+  addr_cse : bool;
+}
 
-let precise = { mode = Precise; vector_loads = false }
-let anytime = { mode = Anytime; vector_loads = false }
-let anytime_vector_loads = { mode = Anytime; vector_loads = true }
+let all_passes =
+  { constfold = true; strength_reduce = true; licm = true; addr_cse = true }
+
+let no_passes =
+  { constfold = false; strength_reduce = false; licm = false; addr_cse = false }
+
+type options = { mode : mode; vector_loads : bool; passes : passes }
+
+let precise = { mode = Precise; vector_loads = false; passes = all_passes }
+let anytime = { mode = Anytime; vector_loads = false; passes = all_passes }
+
+let anytime_vector_loads =
+  { mode = Anytime; vector_loads = true; passes = all_passes }
+
+let codegen_pass_name = "codegen"
+
+let pass_names options =
+  [ Transform.pass_name ]
+  @ (if options.passes.constfold then [ Constfold.pass_name ] else [])
+  @ (if options.passes.strength_reduce then [ Strength_reduce.pass_name ]
+     else [])
+  @ (if options.passes.licm then [ Licm.pass_name ] else [])
+  @ [ codegen_pass_name ]
+  @ if options.passes.addr_cse then [ Addr_cse.pass_name ] else []
 
 type symbol = {
   sym_global : Ast.global;
@@ -25,11 +51,14 @@ type t = {
   symbols : (string * symbol) list;
   storage : (string * int * int) list;
   data_bytes : int;
+  dumps : (string * string) list;
 }
 
 exception Error of string
 
 let err stage msg = raise (Error (Printf.sprintf "%s: %s" stage msg))
+
+let pass_err pass msg = err (Printf.sprintf "pass %s" pass) msg
 
 let storage_bytes (g : Ast.global) = g.g_count * Ast.ty_bytes g.g_ty
 
@@ -54,16 +83,56 @@ let lint t =
   let progress = Wn_analysis.Progress.diagnostics (verify t) in
   List.sort Wn_analysis.Diag.compare (structural @ progress)
 
-let compile ?(options = anytime) ?(strict = false) (source : Ast.program) =
-  let info =
-    try Sema.analyze source with Sema.Error e -> err "sema" e
+let compile ?(options = anytime) ?(strict = false) ?dump_after
+    (source : Ast.program) =
+  let info = try Sema.analyze source with Sema.Error e -> err "sema" e in
+  let dumps = ref [] in
+  let record name pp x =
+    if dump_after = Some name then
+      dumps := (name, Format.asprintf "%a" pp x) :: !dumps
   in
-  let mode = match options.mode with Precise -> `Precise | Anytime -> `Anytime in
+  (* Every pass is followed by a lint of its output; a failing pass is
+     blamed by name, with the complete findings of the first pass that
+     failed (not just the first finding). *)
+  let check_pass name diags =
+    if diags <> [] then
+      let report = Format.asprintf "%a" Wn_analysis.Diag.pp_report diags in
+      if
+        strict
+        && Wn_analysis.Diag.worst diags = Some Wn_analysis.Diag.Error
+      then pass_err name report
+      else Format.eprintf "after pass %s:@.%s@." name report
+  in
+  let lint_ir name (tr : Transform.result) =
+    check_pass name
+      (Wn_analysis.Ircheck.stmts ~globals:tr.storage_globals tr.body);
+    record name Ast.pp_block tr.body
+  in
+  (* --- IR passes -------------------------------------------------- *)
+  let mode =
+    match options.mode with Precise -> `Precise | Anytime -> `Anytime
+  in
   let tr =
     try Transform.apply ~mode ~vector_loads:options.vector_loads info source
-    with Transform.Error e -> err "transform" e
+    with Transform.Error { pass; message } -> pass_err pass message
   in
-  (* Assign data addresses to the storage-level globals. *)
+  lint_ir Transform.pass_name tr;
+  let run_ir enabled name f (tr : Transform.result) =
+    if not enabled then tr
+    else begin
+      let tr = { tr with Transform.body = f tr.Transform.body } in
+      lint_ir name tr;
+      tr
+    end
+  in
+  let tr = run_ir options.passes.constfold Constfold.pass_name Constfold.run tr in
+  let tr =
+    run_ir options.passes.strength_reduce Strength_reduce.pass_name
+      (Strength_reduce.run ~globals:tr.storage_globals)
+      tr
+  in
+  let tr = run_ir options.passes.licm Licm.pass_name Licm.run tr in
+  (* --- address assignment ----------------------------------------- *)
   let addresses, data_bytes =
     List.fold_left
       (fun (acc, next) (g : Ast.global) ->
@@ -71,16 +140,53 @@ let compile ?(options = anytime) ?(strict = false) (source : Ast.program) =
       ([], 0) tr.storage_globals
   in
   let addresses = List.rev addresses in
+  let storage =
+    List.map
+      (fun (g : Ast.global) ->
+        (g.g_name, List.assoc g.g_name addresses, storage_bytes g))
+      tr.storage_globals
+  in
+  let addr_symbols =
+    List.map
+      (fun (sym_name, sym_addr, sym_bytes) ->
+        { Wn_analysis.Addr.sym_name; sym_addr; sym_bytes })
+      storage
+  in
+  (* --- assembly passes -------------------------------------------- *)
+  let lint_asm name asm =
+    (match Asm.assemble asm with
+    | Error e -> pass_err name e
+    | Ok prog ->
+        check_pass name (Wn_analysis.Check.program ~symbols:addr_symbols prog));
+    record name Asm.pp_listing asm
+  in
   let asm =
     try
       Codegen.generate
         {
           cg_body = tr.body;
-          cg_globals = List.map (fun (g : Ast.global) -> (g.g_name, g)) tr.storage_globals;
+          cg_globals =
+            List.map (fun (g : Ast.global) -> (g.g_name, g)) tr.storage_globals;
           cg_addresses = addresses;
         }
     with Codegen.Error e -> err "codegen" e
   in
+  lint_asm codegen_pass_name asm;
+  let asm =
+    if not options.passes.addr_cse then asm
+    else begin
+      let asm = Addr_cse.run asm in
+      lint_asm Addr_cse.pass_name asm;
+      asm
+    end
+  in
+  (match dump_after with
+  | Some name when not (List.mem_assoc name !dumps) ->
+      err "dump-after"
+        (Printf.sprintf "unknown or disabled pass %S; this build runs: %s" name
+           (String.concat ", " (pass_names options)))
+  | _ -> ());
+  (* --- final program ---------------------------------------------- *)
   let program =
     match Asm.assemble asm with Ok p -> p | Error e -> err "assemble" e
   in
@@ -110,15 +216,9 @@ let compile ?(options = anytime) ?(strict = false) (source : Ast.program) =
         (g.g_name, { sym_global = g; sym_addr = addr; sym_layout = layout }))
       source.globals
   in
-  let storage =
-    List.map
-      (fun (g : Ast.global) ->
-        (g.g_name, List.assoc g.g_name addresses, storage_bytes g))
-      tr.storage_globals
-  in
   let t =
     { source; info; options; asm; program; machine_code; symbols; storage;
-      data_bytes }
+      data_bytes; dumps = List.rev !dumps }
   in
   (* Post-codegen self-check: the static verifier must accept its own
      output.  Diagnostics are warnings by default; [strict] promotes
@@ -130,13 +230,13 @@ let compile ?(options = anytime) ?(strict = false) (source : Ast.program) =
      else Format.eprintf "%a@." Wn_analysis.Diag.pp_report diags);
   t
 
-let compile_source ?options ?strict src =
+let compile_source ?options ?strict ?dump_after src =
   let program =
     try Parser.parse src with
     | Parser.Error e -> err "parse" e
     | Lexer.Error e -> err "lex" e
   in
-  compile ?options ?strict program
+  compile ?options ?strict ?dump_after program
 
 let symbol t name =
   match List.assoc_opt name t.symbols with

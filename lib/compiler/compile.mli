@@ -1,22 +1,58 @@
 (** Compilation driver: WNC source → WN-32 machine program.
 
-    Pipeline: parse → semantic analysis → WN transformation (SWP / SWV /
-    skim insertion per pragmas, or none for the precise baseline) →
-    address assignment → code generation → assembly → binary encoding
-    (the encoder/decoder round-trip doubles as a self-check). *)
+    The middle of the pipeline is an explicit, named, ordered list of
+    passes.  IR-level passes rewrite the kernel body
+    ([stmt list -> stmt list]); assembly-level passes rewrite the
+    generated program ([Asm.program -> Asm.program]).  After {e every}
+    pass its output is linted — {!Wn_analysis.Ircheck} for IR,
+    {!Wn_analysis.Check} for assembly — so a pass that breaks an
+    invariant is blamed by name with its complete findings.
+
+    Pipeline order:
+    + [lower-anytime] — SWP / SWV / skim insertion per pragmas
+      ({!Transform}), or plain lowering for the precise baseline;
+    + [constfold] — 32-bit constant folding ({!Constfold});
+    + [strength-reduce] — byte-offset induction variables for affine
+      array indices ({!Strength_reduce});
+    + [licm] — loop-invariant declaration and bound hoisting ({!Licm});
+    + [codegen] — address assignment and code generation ({!Codegen});
+    + [addr-cse] — redundant base-address rematerialisation removal
+      over the assembly ({!Addr_cse}).
+
+    then assembly and binary encoding (the encoder/decoder round-trip
+    doubles as a self-check), and a final full lint including the
+    forward-progress (WCEC) analysis. *)
 
 open Wn_isa
 
 type mode = Precise | Anytime
 
+type passes = {
+  constfold : bool;
+  strength_reduce : bool;
+  licm : bool;
+  addr_cse : bool;
+}
+(** Optimizer-pass toggles.  [lower-anytime] and [codegen] are not
+    optional — they are the pipeline's spine. *)
+
+val all_passes : passes
+val no_passes : passes
+
 type options = {
   mode : mode;
   vector_loads : bool;  (** Figure 12: vectorize SWP's subword loads *)
+  passes : passes;
 }
 
 val precise : options
 val anytime : options
 val anytime_vector_loads : options
+(** The presets enable every optimizer pass. *)
+
+val pass_names : options -> string list
+(** The pipeline, in execution order, for these options — the names
+    [--dump-after] and pass-blamed errors use. *)
 
 type symbol = {
   sym_global : Wn_lang.Ast.global;  (** source-level type and count *)
@@ -36,19 +72,30 @@ type t = {
       (** every storage-level global the code addresses — including
           transform-introduced arrays — as (name, address, bytes) *)
   data_bytes : int;  (** size of the data segment *)
+  dumps : (string * string) list;
+      (** (pass, printed output) snapshots requested via [dump_after] *)
 }
 
 exception Error of string
-(** Any front-end, transform or back-end failure, wrapped with its
-    stage. *)
+(** Any front-end, pass or back-end failure.  Pass failures are
+    prefixed ["pass <name>: "] with the originating pass's name and, for
+    lint failures under [strict], the complete findings of the first
+    failing pass. *)
 
-val compile : ?options:options -> ?strict:bool -> Wn_lang.Ast.program -> t
-(** Compiles and then runs the {!Wn_analysis} static verifier over the
-    generated program as a self-check.  Diagnostics print to stderr as
-    warnings by default; with [strict:true] any error-severity finding
-    raises {!Error} (stage ["verify"]). *)
+val compile :
+  ?options:options -> ?strict:bool -> ?dump_after:string ->
+  Wn_lang.Ast.program -> t
+(** Compiles, linting after every pass and running the full
+    {!Wn_analysis} static verifier over the final program as a
+    self-check.  Diagnostics print to stderr as warnings by default;
+    with [strict:true] any error-severity finding raises {!Error}
+    naming the first failing pass (stage ["verify"] for the final full
+    lint).  [dump_after] records the named pass's output in {!t.dumps}
+    (IR passes print as statements, assembly passes as a listing);
+    unknown names raise (stage ["dump-after"]). *)
 
-val compile_source : ?options:options -> ?strict:bool -> string -> t
+val compile_source :
+  ?options:options -> ?strict:bool -> ?dump_after:string -> string -> t
 
 val lint : t -> Wn_analysis.Diag.t list
 (** Static-verifier diagnostics for an already-compiled program, using

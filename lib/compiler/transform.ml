@@ -1,9 +1,14 @@
 open Wn_lang
 open Ast
 
-exception Error of string
+exception Error of { pass : string; message : string }
 
-let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+(* Every failure in this module originates in the anytime-lowering
+   pass; the pipeline driver threads the name into its diagnostics. *)
+let pass_name = "lower-anytime"
+
+let err fmt =
+  Printf.ksprintf (fun s -> raise (Error { pass = pass_name; message = s })) fmt
 
 type result = {
   body : stmt list;
@@ -22,7 +27,7 @@ let expr_names e =
     | Var v -> acc := Names.add v !acc
     | Load (a, _) | Sub_load { sl_arr = a; _ } -> acc := Names.add a !acc
     | Int _ | Neg _ | Bnot _ | Binop _ | Mul_asp _ | Asv_op _ | Sqrt _
-    | Sqrt_asp _ ->
+    | Sqrt_asp _ | Raw_off _ ->
         ()
   in
   iter_expr record e;
@@ -127,7 +132,7 @@ let rewrite_asp_pass info ~elem_signed ~shift ~width ~top e =
     | Bnot a -> Bnot (rw a)
     | Sqrt a -> Sqrt (rw a)
     | Binop (op, a, b) -> Binop (op, rw a, rw b)
-    | Sub_load _ | Mul_asp _ | Asv_op _ | Sqrt_asp _ ->
+    | Sub_load _ | Mul_asp _ | Asv_op _ | Sqrt_asp _ | Raw_off _ ->
         err "unexpected internal form during SWP rewriting"
   in
   rw e

@@ -34,7 +34,14 @@
     generator to inline as plain code and every array keeps its
     row-major layout — the paper's baseline build. *)
 
-exception Error of string
+exception Error of { pass : string; message : string }
+(** [pass] names the compiler pass the failure originated in (always
+    ["lower-anytime"] for this module), so driver diagnostics can point
+    at the failing pass rather than a generic stage. *)
+
+val pass_name : string
+(** The pipeline name of the transformation implemented here:
+    ["lower-anytime"]. *)
 
 type result = {
   body : Wn_lang.Ast.stmt list;  (** rewritten kernel body *)

@@ -38,6 +38,7 @@ type report = {
   checkpoints_continuous : int;
   exhaustive : bool;
   points : int;
+  boundaries : int array;
   skim_commits : int;
   violations : (int * string) list;
 }
@@ -198,6 +199,7 @@ let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
     checkpoints_continuous = Array.length prof.Faults.checkpoint_boundaries;
     exhaustive = (match mode with Exhaustive -> true | Sampled _ -> false);
     points = Array.length boundaries;
+    boundaries;
     skim_commits;
     violations = List.concat_map snd verdicts;
   }

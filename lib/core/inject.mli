@@ -54,6 +54,10 @@ type report = {
       (** checkpoints the policy places on an uninterrupted run *)
   exhaustive : bool;
   points : int;
+  boundaries : int array;
+      (** the injected boundaries, sorted ascending — a pure function
+          of (workload, config, mode), so identical across [jobs]
+          values, engines and keyframe settings *)
   skim_commits : int;  (** injected points that finished via skim *)
   violations : (int * string) list;
       (** (boundary, oracle message), in boundary order *)

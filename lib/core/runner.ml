@@ -7,11 +7,12 @@ type build = {
   cfg : Workload.cfg;
 }
 
-let build ?(precise = false) ?(vector_loads = false) (w : Workload.t) cfg =
+let build ?(precise = false) ?(vector_loads = false)
+    ?(passes = Wn_compiler.Compile.all_passes) (w : Workload.t) cfg =
   let options =
     if precise then
-      { Wn_compiler.Compile.mode = Precise; vector_loads = false }
-    else { Wn_compiler.Compile.mode = Anytime; vector_loads }
+      { Wn_compiler.Compile.mode = Precise; vector_loads = false; passes }
+    else { Wn_compiler.Compile.mode = Anytime; vector_loads; passes }
   in
   let compiled = Wn_compiler.Compile.compile_source ~options (w.source cfg) in
   { workload = w; compiled; precise; cfg }

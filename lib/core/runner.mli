@@ -11,9 +11,16 @@ type build = {
 }
 
 val build :
-  ?precise:bool -> ?vector_loads:bool -> Workload.t -> Workload.cfg -> build
+  ?precise:bool ->
+  ?vector_loads:bool ->
+  ?passes:Wn_compiler.Compile.passes ->
+  Workload.t ->
+  Workload.cfg ->
+  build
 (** Compile the workload's source.  [precise] ignores the pragmas (the
-    paper's baseline build). *)
+    paper's baseline build).  [passes] overrides the optimizer-pass
+    set (defaults to all passes on); the per-pass differential harness
+    uses it to compare outputs with a pass disabled. *)
 
 val machine :
   ?machine_config:Wn_machine.Machine.config -> build -> Wn_machine.Machine.t

@@ -37,6 +37,7 @@ type expr =
   | Asv_op of binop * int * expr * expr
   | Sqrt of expr
   | Sqrt_asp of expr * int
+  | Raw_off of expr
 
 type lhs = Lvar of string | Larr of string * expr
 
@@ -95,7 +96,7 @@ let rec iter_expr f e =
   (match e with
   | Int _ | Var _ -> ()
   | Load (_, i) -> iter_expr f i
-  | Neg a | Bnot a | Sqrt a | Sqrt_asp (a, _) -> iter_expr f a
+  | Neg a | Bnot a | Sqrt a | Sqrt_asp (a, _) | Raw_off a -> iter_expr f a
   | Binop (_, a, b) | Asv_op (_, _, a, b) ->
       iter_expr f a;
       iter_expr f b
@@ -139,6 +140,7 @@ let rec map_expr f e =
     | Asv_op (op, w, a, b) -> Asv_op (op, w, map_expr f a, map_expr f b)
     | Sqrt a -> Sqrt (map_expr f a)
     | Sqrt_asp (a, bits) -> Sqrt_asp (map_expr f a, bits)
+    | Raw_off a -> Raw_off (map_expr f a)
   in
   f e
 
@@ -189,6 +191,7 @@ let rec pp_expr ppf e =
       Format.fprintf ppf "asv%d(%a %s %a)" w pp_expr a (binop_name op) pp_expr b
   | Sqrt a -> Format.fprintf ppf "sqrt(%a)" pp_expr a
   | Sqrt_asp (a, bits) -> Format.fprintf ppf "sqrt_asp%d(%a)" bits pp_expr a
+  | Raw_off a -> Format.fprintf ppf "@%a" pp_expr a
 
 let pp_lhs ppf = function
   | Lvar v -> Format.pp_print_string ppf v

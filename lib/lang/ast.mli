@@ -62,6 +62,14 @@ type expr =
   | Sqrt_asp of expr * int
       (** internal: only the [bits] most significant root bits — the
           anytime square-root stage (the paper's footnote-3 extension) *)
+  | Raw_off of expr
+      (** internal: marks an array index as an already-scaled {e byte}
+          offset from the array's base.  The strength-reduction pass
+          rewrites affine indices into running byte-offset induction
+          variables and wraps them in [Raw_off]; the code generator then
+          skips the scale shift and indexes the base register directly.
+          Only meaningful as the index of [Load], [Larr] or
+          [Sub_load]. *)
 
 type lhs =
   | Lvar of string
@@ -129,4 +137,9 @@ val map_exprs_stmt : (expr -> expr) -> stmt -> stmt
 
 val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
+
+val pp_block : Format.formatter -> stmt list -> unit
+(** Statement list, one per line — the form [wn compile --dump-after]
+    prints for IR-level passes. *)
+
 val pp_program : Format.formatter -> program -> unit

@@ -87,7 +87,7 @@ let rec eval env e =
         if candidate * candidate <= n then r := candidate
       done;
       !r
-  | Sub_load _ | Mul_asp _ | Asv_op _ | Sqrt_asp _ ->
+  | Sub_load _ | Mul_asp _ | Asv_op _ | Sqrt_asp _ | Raw_off _ ->
       err "internal expression form in the reference interpreter"
 
 let loop_guard = 100_000_000

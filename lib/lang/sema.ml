@@ -87,7 +87,7 @@ let rec check_expr sc ~in_condition e =
       then err "shift amount must be a constant in [0, 31]";
       check_expr sc ~in_condition:false a;
       check_expr sc ~in_condition:false b
-  | Sub_load _ | Mul_asp _ | Asv_op _ | Sqrt_asp _ ->
+  | Sub_load _ | Mul_asp _ | Asv_op _ | Sqrt_asp _ | Raw_off _ ->
       err "internal expression form in source program"
 
 let check_lhs sc = function

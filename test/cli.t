@@ -132,10 +132,10 @@ stable report):
     configs (round-robin): MatAdd@8/checkpoint-volatile
     trace rf seed 7, cap 10.0 uF, batch 2, sketch k=256
     completed 4/4 (100.0%), 4 via skim (100.0%)
-    quality NRMSE% mean 0.7034  sd 0.0147  min 0.6826  p50 0.7130  p90 0.7209  p99 0.7209  max 0.7209
-    energy uJ/task mean 38.0285  sd 1.1398  min 36.1680  p50 38.5690  p90 39.2230  p99 39.2230  max 39.2230
-    outages/task   mean 3.0000  sd 0.0000  min 3.0000  p50 3.0000  p90 3.0000  p99 3.0000  max 3.0000
-    on-time %      mean 0.4923  sd 0.1477  min 0.3028  p50 0.4751  p90 0.7174  p99 0.7174  max 0.7174
+    quality NRMSE% mean 0.8409  sd 0.0073  min 0.8317  p50 0.8402  p90 0.8521  p99 0.8521  max 0.8521
+    energy uJ/task mean 15.0930  sd 0.0000  min 15.0930  p50 15.0930  p90 15.0930  p99 15.0930  max 15.0930
+    outages/task   mean 1.0000  sd 0.0000  min 1.0000  p50 1.0000  p90 1.0000  p99 1.0000  max 1.0000
+    on-time %      mean 0.9567  sd 0.6843  min 0.2347  p50 1.0481  p90 2.0285  p99 2.0285  max 2.0285
 
 The same fleet is byte-identical across engines and --jobs widths
 (engine choice only affects simulation speed, never results):
@@ -144,3 +144,79 @@ The same fleet is byte-identical across engines and --jobs widths
   $ wn fleet MatAdd --devices 4 --batch 2 --engine fast --jobs 2 2>/dev/null > fleet-fast.out
   $ wn fleet MatAdd --devices 4 --batch 2 --engine compat --jobs 1 2>/dev/null > fleet-compat.out
   $ cmp fleet-block.out fleet-fast.out && cmp fleet-block.out fleet-compat.out
+
+The pass pipeline behind every build is explicit and named.  The
+compile subcommand lists it, compiles with or without the optimizer,
+and dumps the program as it leaves any pass:
+
+  $ wn compile --list-passes
+  lower-anytime
+  constfold
+  strength-reduce
+  licm
+  codegen
+  addr-cse
+
+  $ wn compile MatAdd
+  52 instructions, 208 bytes of code, 49152 bytes of data
+
+  $ wn compile MatAdd --no-opt
+  76 instructions, 304 bytes of code, 49152 bytes of data
+
+  $ wn compile
+  wn: need a BENCH argument or --file
+  [124]
+
+  $ wn compile MatAdd --dump-after frobnicate
+  wn: dump-after: unknown or disabled pass "frobnicate"; this build runs: lower-anytime, constfold, strength-reduce, licm, codegen, addr-cse
+  [124]
+
+Strength reduction rewrites affine indices into running byte offsets
+(the @ marker), visible in the per-pass dump:
+
+  $ cat > dot.wnc <<WNC
+  > uint32 a[8];
+  > uint32 b[8];
+  > uint32 acc[1];
+  > 
+  > kernel dot() {
+  >   for (i = 0; i < 8; i += 1) {
+  >     acc[0] = acc[0] + a[i] * b[i];
+  >   }
+  > }
+  > WNC
+
+  $ wn compile --file dot.wnc --dump-after strength-reduce 2>/dev/null
+  ; after pass strength-reduce
+  for (__sr_iv0 = 0; __sr_iv0 < 32; __sr_iv0 += 4) {
+    acc[0] = (acc[0] + (a[@__sr_iv0] * b[@__sr_iv0]));
+  }
+
+Strict mode reports the first failing pass with that pass's complete
+findings, not just the first one:
+
+  $ cat > rmw.wnc <<WNC
+  > uint32 x[8];
+  > uint32 y[8];
+  > 
+  > kernel bump() {
+  >   for (i = 0; i < 8; i += 1) {
+  >     x[i] = x[i] + 1;
+  >     y[i] = y[i] + 2;
+  >   }
+  > }
+  > WNC
+
+  $ wn compile --file rmw.wnc --strict 2>&1
+  wn: pass codegen: error[war-hazard] pc 6 (x): store to x depends on a value loaded from x with no skim latched: after an outage the re-executed read sees the updated value (non-idempotent read-modify-write)
+      error[war-hazard] pc 11 (y): store to y depends on a value loaded from y with no skim latched: after an outage the re-executed read sees the updated value (non-idempotent read-modify-write)
+      2 diagnostics (2 errors, 0 warnings, 0 notes)
+  [124]
+
+Dynamic instruction counts are deterministic, so they are pinnable —
+the CI optimizer gate compares them against the committed baseline:
+
+  $ wn insn MatAdd
+  Benchmark       precise      anytime   anytime-O0   Insn %    saved
+  MatAdd            20485        40980        65556   10.00%   37.49%
+  fig10:executor_clank_shadowmap: 111513 retired

@@ -213,8 +213,11 @@ let test_war_compiled () =
     (match Wn_compiler.Compile.compile_source ~strict:true war_source with
     | _ -> false
     | exception Wn_compiler.Compile.Error msg ->
-        (* the failure comes from the verify stage *)
-        String.length msg >= 6 && String.sub msg 0 6 = "verify")
+        (* strict blames the first pass whose linted output carries the
+           hazard — codegen, the pass that emits the RMW sequence *)
+        let prefix = "pass codegen" in
+        let n = String.length prefix in
+        String.length msg >= n && String.sub msg 0 n = prefix)
 
 (* ---------------- diagnostic ordering and dedup ---------------- *)
 
@@ -687,8 +690,8 @@ let test_suite_clean () =
                     [] (rules ds)
               | exception Wn_compiler.Compile.Error msg
                 when label = "anytime+vl"
-                     && String.length msg >= 10
-                     && String.sub msg 0 10 = "transform:" ->
+                     && String.length msg >= 19
+                     && String.sub msg 0 19 = "pass lower-anytime:" ->
                   (* vector_loads only applies when the asp arrays also
                      carry asv pragmas; skip benchmarks without them *)
                   ())
