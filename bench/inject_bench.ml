@@ -1,11 +1,13 @@
 (* Wall-time benchmark for the keyframe snapshot engine behind
    fault-injection sweeps (wn.core Inject / wn.faults).
 
-   Runs the same outage sweep twice — every point replayed from
-   instruction 0, then every point resumed from the nearest keyframe —
-   verifies the two reports are byte-identical, and persists the wall
-   times (plus the derived speedup and the keyframe store's resident
-   size) to BENCH_inject.json in the same wn-bench/1 shape as
+   Runs the same outage sweep several times — every point replayed from
+   instruction 0, then every point resumed from the nearest keyframe at
+   each requested interval, plus one run with isolated full-copy frames
+   for the delta-vs-full comparison — verifies all reports are
+   byte-identical, and persists the wall times (plus the derived
+   speedups and the keyframe store's resident size) to
+   BENCH_inject.json in the same wn-bench/1 shape as
    BENCH_machine.json, so successive commits leave a comparable
    trajectory.
 
@@ -14,7 +16,7 @@
      dune exec bench/inject_bench.exe -- --points 500    # sampled sweep
      dune exec bench/inject_bench.exe -- --jobs 8
      dune exec bench/inject_bench.exe -- --keyframe-interval 1024
-     dune exec bench/inject_bench.exe -- --k-sweep 512,2048,8192
+     dune exec bench/inject_bench.exe -- --k-sweep auto,512,2048
      dune exec bench/inject_bench.exe -- --bench-json F  # where to persist *)
 
 open Wn_workloads
@@ -22,14 +24,16 @@ open Wn_workloads
 let usage () =
   prerr_endline
     "usage: inject_bench.exe [--bench NAME] [--points N] [--jobs N] \
-     [--keyframe-interval K] [--k-sweep K1,K2,...] [--bench-json PATH]";
+     [--keyframe-interval K|auto] [--k-sweep K1,K2,...] [--bench-json PATH]";
   exit 2
+
+let auto = Wn_core.Inject.auto_keyframe_interval
 
 let parse_args () =
   let bench = ref "MatAdd" in
   let points = ref 0 (* 0 = exhaustive *) in
   let jobs = ref (Wn_exec.Pool.default_jobs ()) in
-  let ks = ref [ Wn_faults.Faults.default_keyframe_interval ] in
+  let ks = ref [ auto ] in
   let bench_json = ref "BENCH_inject.json" in
   let int_arg flag n ~min =
     match int_of_string_opt n with
@@ -38,6 +42,7 @@ let parse_args () =
         Printf.eprintf "%s needs an integer >= %d, got %S\n" flag min n;
         usage ()
   in
+  let k_arg flag n = if n = "auto" then auto else int_arg flag n ~min:1 in
   let rec go = function
     | [] -> ()
     | "--bench" :: name :: rest ->
@@ -50,13 +55,10 @@ let parse_args () =
         jobs := int_arg "--jobs" n ~min:1;
         go rest
     | "--keyframe-interval" :: n :: rest ->
-        ks := [ int_arg "--keyframe-interval" n ~min:1 ];
+        ks := [ k_arg "--keyframe-interval" n ];
         go rest
     | "--k-sweep" :: list :: rest ->
-        ks :=
-          List.map
-            (fun n -> int_arg "--k-sweep" n ~min:1)
-            (String.split_on_char ',' list);
+        ks := List.map (k_arg "--k-sweep") (String.split_on_char ',' list);
         go rest
     | "--bench-json" :: path :: rest ->
         bench_json := path;
@@ -81,8 +83,10 @@ let write_bench_json path rows =
   close_out oc
 
 (* The keyframe store's resident size, measured on a survey identical
-   to the one Inject.sweep takes (same build, inputs and policy). *)
-let store_mib ~config ~interval w =
+   to the one Inject.sweep takes (same build, inputs and policy).
+   [Obj.reachable_words] counts structurally shared pages once, so
+   delta stores report their true footprint. *)
+let store_mib ~config ~interval ~full w =
   let cfg = { Workload.bits = config.Wn_core.Inject.bits; provisioned = true } in
   let b = Wn_core.Runner.build ~precise:(not config.Wn_core.Inject.skim) w cfg in
   let inputs =
@@ -98,7 +102,10 @@ let store_mib ~config ~interval w =
       policy = Wn_runtime.Executor.Clank Wn_runtime.Executor.default_clank;
     }
   in
-  let s = Wn_faults.Faults.survey ~keyframe_interval:interval scenario in
+  let s =
+    Wn_faults.Faults.survey ~keyframe_interval:interval ~full_frames:full
+      scenario
+  in
   match s.Wn_faults.Faults.sv_keyframes with
   | None -> 0.0
   | Some kfs ->
@@ -133,26 +140,68 @@ let () =
     prerr_endline (render r_off);
     exit 1
   end;
+  (* The interval the auto sentinel resolves to for this workload; row
+     names keep the "kauto" tag so successive commits stay comparable
+     even as the resolved value drifts with the compiler. *)
+  let resolve k =
+    if k = auto then
+      Wn_faults.Faults.auto_keyframe_interval
+        ~boundaries:(max 1 (r_off.Wn_core.Inject.retired - 1))
+    else k
+  in
+  let kname k = if k = auto then "kauto" else Printf.sprintf "k%d" k in
   let rows = ref [ (Printf.sprintf "inject:%s_%s_scratch" bench tag, t_off) ] in
-  List.iter
-    (fun k ->
-      let t_on, r_on =
-        timed { base with Wn_core.Inject.keyframe_interval = k }
-      in
-      (* Keyframes are a pure replay-cost knob: any report difference is
-         a correctness bug, so fail loudly rather than record a time. *)
-      if render r_on <> render r_off then begin
-        Printf.eprintf "keyframed sweep (K=%d) diverged from scratch!\n" k;
-        exit 1
-      end;
-      let mib = store_mib ~config:base ~interval:k w in
-      Printf.eprintf "[%s %s: %.2fs with K=%d (%.1fx, store %.1f MiB)]\n%!"
-        bench tag t_on k (t_off /. t_on) mib;
-      rows :=
-        (Printf.sprintf "inject:%s_%s_k%d_store_mib" bench tag k, mib)
-        :: (Printf.sprintf "inject:%s_%s_k%d_speedup_x" bench tag k, t_off /. t_on)
-        :: (Printf.sprintf "inject:%s_%s_k%d" bench tag k, t_on)
-        :: !rows)
+  let row fmt v =
+    rows := (fmt, v) :: !rows
+  in
+  (* Keyframes (any interval, delta or full) are a pure replay-cost
+     knob: any report difference is a correctness bug, so fail loudly
+     rather than record a time. *)
+  let check_identical what r_on =
+    if render r_on <> render r_off then begin
+      Printf.eprintf "%s sweep diverged from scratch!\n" what;
+      exit 1
+    end
+  in
+  List.iteri
+    (fun i k ->
+      let name = kname k in
+      let t_on, r_on = timed { base with Wn_core.Inject.keyframe_interval = k } in
+      check_identical (Printf.sprintf "keyframed (%s)" name) r_on;
+      let mib = store_mib ~config:base ~interval:(resolve k) ~full:false w in
+      Printf.eprintf
+        "[%s %s: %.2fs with %s=%d delta frames (%.1fx, store %.2f MiB)]\n%!"
+        bench tag t_on name (resolve k) (t_off /. t_on) mib;
+      row (Printf.sprintf "inject:%s_%s_%s" bench tag name) t_on;
+      row (Printf.sprintf "inject:%s_%s_%s_speedup_x" bench tag name)
+        (t_off /. t_on);
+      row (Printf.sprintf "inject:%s_%s_%s_store_mib" bench tag name) mib;
+      (* Delta-vs-full comparison at the first (default: auto) interval
+         only — it is the expensive extra sweep, and one pair feeds the
+         CI ratio gate. *)
+      if i = 0 then begin
+        let t_full, r_full =
+          timed
+            {
+              base with
+              Wn_core.Inject.keyframe_interval = k;
+              Wn_core.Inject.delta_frames = false;
+            }
+        in
+        check_identical (Printf.sprintf "full-frame (%s)" name) r_full;
+        let full_mib = store_mib ~config:base ~interval:(resolve k) ~full:true w in
+        Printf.eprintf
+          "[%s %s: %.2fs with %s=%d full frames (store %.2f MiB, %.1fx the \
+           delta store)]\n%!"
+          bench tag t_full name (resolve k) full_mib
+          (if mib > 0.0 then full_mib /. mib else 0.0);
+        row (Printf.sprintf "inject:%s_%s_%s_full" bench tag name) t_full;
+        row (Printf.sprintf "inject:%s_%s_%s_full_store_mib" bench tag name)
+          full_mib;
+        if mib > 0.0 then
+          row (Printf.sprintf "inject:%s_%s_%s_store_ratio_x" bench tag name)
+            (full_mib /. mib)
+      end)
     ks;
   write_bench_json bench_json (List.rev !rows);
   Printf.eprintf "[inject bench written to %s]\n%!" bench_json

@@ -378,22 +378,35 @@ let inject_cmd =
   let keyframe_arg =
     Arg.(
       value
-      & opt int Wn_faults.Faults.default_keyframe_interval
+      & opt (some int) None
       & info [ "keyframe-interval" ] ~docv:"K"
           ~doc:
             "Snapshot the continuous run every $(docv) retired \
              instructions and resume injected points from the nearest \
              snapshot instead of replaying the whole prefix.  0 \
-             disables keyframes.  Reports are byte-identical for every \
-             value.")
+             disables keyframes; without the flag the interval is \
+             derived from the surveyed boundary count.  Reports are \
+             byte-identical for every value.")
+  in
+  let full_keyframes_arg =
+    Arg.(
+      value & flag
+      & info [ "full-keyframes" ]
+          ~doc:
+            "Capture keyframes as isolated full-memory copies instead \
+             of delta snapshots sharing unwritten pages.  Observably \
+             identical (reports are byte-identical); for store-size \
+             and speed comparison.")
   in
   let run bench scale bits points seed exhaustive system skim differential
-      keyframe_interval engine_name jobs =
+      keyframe_interval full_keyframes engine_name jobs =
     let* jobs = require_positive "jobs" jobs in
     let* points = require_positive "points" points in
     let* seed = require_non_negative "seed" seed in
     let* keyframe_interval =
-      require_non_negative "keyframe-interval" keyframe_interval
+      match keyframe_interval with
+      | None -> Ok Wn_core.Inject.auto_keyframe_interval
+      | Some k -> require_non_negative "keyframe-interval" k
     in
     let* engine = find_engine engine_name in
     match find_bench scale bench with
@@ -430,6 +443,7 @@ let inject_cmd =
                     sample_seed = seed;
                     differential;
                     keyframe_interval;
+                    delta_frames = not full_keyframes;
                     engine;
                   }
                 in
@@ -456,7 +470,8 @@ let inject_cmd =
       term_result
         (const run $ bench_arg $ scale_arg $ bits_arg $ points_arg
        $ inject_seed_arg $ exhaustive_arg $ inj_system_arg $ inj_skim_arg
-       $ differential_arg $ keyframe_arg $ engine_arg $ jobs_arg))
+       $ differential_arg $ keyframe_arg $ full_keyframes_arg $ engine_arg
+       $ jobs_arg))
 
 (* ---------------- wn fleet ---------------- *)
 

@@ -14,8 +14,14 @@ type config = {
   off_cycles : int;
   differential : bool;
   keyframe_interval : int;
+  delta_frames : bool;
   engine : Executor.engine;
 }
+
+(* [keyframe_interval] sentinels: 0 disables keyframes entirely
+   (from-scratch replay); [auto_keyframe_interval] (-1) derives the
+   interval from the surveyed boundary count. *)
+let auto_keyframe_interval = -1
 
 let default_config =
   {
@@ -26,7 +32,8 @@ let default_config =
     sample_seed = 11;
     off_cycles = Wn_power.Supply.default_off_cycles;
     differential = false;
-    keyframe_interval = Faults.default_keyframe_interval;
+    keyframe_interval = auto_keyframe_interval;
+    delta_frames = true;
     engine = Executor.Block;
   }
 
@@ -132,7 +139,7 @@ let differential_violations (a : Faults.point_result) (b : Faults.point_result) 
   List.rev !v
 
 let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
-  if config.keyframe_interval < 0 then invalid_arg "Inject.sweep";
+  if config.keyframe_interval < -1 then invalid_arg "Inject.sweep";
   let scen = scenario ~config w in
   (* Two streaming passes: one to learn the run's shape (the planner
      needs it to place boundaries), one to take the planned prefix
@@ -143,9 +150,17 @@ let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
   let prof = Faults.profile scen in
   let boundaries = plan ~mode ~seed:config.sample_seed prof in
   let keyframe_interval =
-    if config.keyframe_interval = 0 then None else Some config.keyframe_interval
+    if config.keyframe_interval = 0 then None
+    else if config.keyframe_interval = auto_keyframe_interval then
+      Some
+        (Faults.auto_keyframe_interval
+           ~boundaries:(max 1 (prof.Faults.retired - 1)))
+    else Some config.keyframe_interval
   in
-  let s = Faults.survey ~boundaries ?keyframe_interval scen in
+  let s =
+    Faults.survey ~boundaries ?keyframe_interval
+      ~full_frames:(not config.delta_frames) scen
+  in
   let prefixes = s.Faults.sv_digests in
   let keyframes = s.Faults.sv_keyframes in
   (* Skim-commit tails repeat between stores; the cache computes each
@@ -154,13 +169,31 @@ let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
   let skim_cache =
     Option.map (fun _ -> Faults.skim_cache ()) keyframes
   in
+  (* One long-lived scratch machine per pool domain: every keyframed
+     point restores a frame over it (clobbering all state), so restores
+     along the chain cost only the pages that differ instead of a fresh
+     machine plus a full-image copy per point.  Purely an allocation
+     saving — results are bit-identical with or without it. *)
+  let scratch_key = Domain.DLS.new_key (fun () -> None) in
+  let scratch () =
+    match keyframes with
+    | None -> None
+    | Some _ -> (
+        match Domain.DLS.get scratch_key with
+        | Some _ as m -> m
+        | None ->
+            let m = scen.Faults.fresh () in
+            Domain.DLS.set scratch_key (Some m);
+            Some m)
+  in
   let verdicts =
     Wn_exec.Pool.map ~jobs
       (fun i ->
         let boundary = boundaries.(i) in
+        let machine = scratch () in
         let res =
           Faults.run_point ~engine:config.engine ~off_cycles:config.off_cycles
-            ?keyframes scen ~boundary
+            ?keyframes ?machine scen ~boundary
         in
         let expect_skim =
           match prof.Faults.first_skim with
@@ -170,7 +203,7 @@ let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
         let skim_ref =
           if expect_skim then
             Faults.skim_reference ?keyframes ?cache:skim_cache
-              ~prefix_digest:prefixes.(i) scen ~boundary
+              ~prefix_digest:prefixes.(i) ?machine scen ~boundary
           else None
         in
         let vs =
@@ -180,7 +213,7 @@ let sweep ?(jobs = 1) ~mode ~config (w : Workload.t) =
           if config.differential then
             let res' =
               Faults.run_point ~engine:Executor.Compat
-                ~off_cycles:config.off_cycles ?keyframes scen ~boundary
+                ~off_cycles:config.off_cycles ?keyframes ?machine scen ~boundary
             in
             vs @ differential_violations res res'
           else vs

@@ -32,18 +32,31 @@ type config = {
       (** retired instructions between keyframe snapshots of the
           continuous run; injected points then replay at most this many
           prefix instructions instead of the whole prefix.  [0]
-          disables keyframes (every point replays from instruction 0).
-          Reports are byte-identical for every value. *)
+          disables keyframes (every point replays from instruction 0);
+          {!auto_keyframe_interval} ([-1], the default) derives the
+          interval from the surveyed boundary count via
+          {!Wn_faults.Faults.auto_keyframe_interval}.  Reports are
+          byte-identical for every value. *)
+  delta_frames : bool;
+      (** keyframes as delta snapshots sharing unwritten memory pages
+          with the previous frame (default) vs isolated full copies.
+          Observably identical — reports are byte-identical either way;
+          deltas are only smaller and faster to capture. *)
   engine : Wn_runtime.Executor.engine;
       (** stepping engine for the injected runs (default [Block]);
           reports are byte-identical across engines.  The differential
           re-run always uses [Compat] regardless. *)
 }
 
+val auto_keyframe_interval : int
+(** Sentinel [keyframe_interval] (-1): derive the interval from the
+    surveyed boundary count.  Values below it are rejected by
+    {!sweep}. *)
+
 val default_config : config
 (** Clank, anytime build, 8-bit subwords, seeds 5/11, default
-    off-period, no differential, keyframes every
-    {!Wn_faults.Faults.default_keyframe_interval} instructions. *)
+    off-period, no differential, auto keyframe interval, delta
+    keyframes. *)
 
 type report = {
   workload : string;

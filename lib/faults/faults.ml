@@ -34,6 +34,15 @@ type keyframes = {
 
 let default_keyframe_interval = 512
 
+(* Denser-than-sqrt placement: with delta frames a keyframe costs
+   O(pages dirtied per interval), so the old fixed 512 is no longer the
+   store/replay trade-off point.  2·sqrt(n) keeps replay windows short
+   on big runs without flooding the rejoin-probe candidate lists on
+   small ones; the clamp bounds pathological run lengths. *)
+let auto_keyframe_interval ~boundaries =
+  let k = int_of_float (2.0 *. sqrt (float_of_int (max 1 boundaries))) in
+  max 32 (min 4096 k)
+
 type survey_result = {
   sv_profile : profile;
   sv_digests : Digest.t array;
@@ -51,7 +60,7 @@ type survey_result = {
    read the register file), so the recorded boundaries and digests
    equal the raw continuous run's. *)
 let survey ?(max_steps = default_max_steps) ?(boundaries = [||])
-    ?keyframe_interval scenario =
+    ?keyframe_interval ?(full_frames = false) scenario =
   (match keyframe_interval with
   | Some k when k < 1 -> invalid_arg "Faults.survey: keyframe_interval"
   | _ -> ());
@@ -80,9 +89,18 @@ let survey ?(max_steps = default_max_steps) ?(boundaries = [||])
     end
   in
   let on_checkpoint retired = ckpts := retired :: !ckpts in
+  (* Delta snapshots by default: the survey machine is the only writer
+     of its memory, so consecutive keyframes share every page the
+     program did not dirty in between and the store stays O(dirty).
+     [full_frames] keeps the old isolated-copy behaviour for
+     comparison. *)
   let on_keyframe rs =
     frames :=
-      { kf_retired = !n; kf_machine = Machine.snapshot m; kf_exec = rs }
+      {
+        kf_retired = !n;
+        kf_machine = Machine.snapshot ~full:full_frames m;
+        kf_exec = rs;
+      }
       :: !frames
   in
   let outcome =
@@ -151,22 +169,35 @@ type point_result = {
 }
 
 let run_point ?(engine = Executor.Fast)
-    ?(off_cycles = Supply.default_off_cycles) ?keyframes scenario ~boundary =
+    ?(off_cycles = Supply.default_off_cycles) ?keyframes ?machine scenario
+    ~boundary =
   if boundary < 1 then invalid_arg "Faults.run_point";
-  let m = scenario.fresh () in
-  let supply = Supply.scripted ~off_cycles () in
   (* Resume from the nearest keyframe strictly before the boundary (the
      outage must still lie ahead so the budget is >= 1): the continuous
      prefix then costs at most [interval] steps instead of [boundary]. *)
-  let resume =
+  let frame =
     match keyframes with
     | None -> None
-    | Some kfs -> (
-        match frame_at_or_before kfs ~retired_max:(boundary - 1) with
-        | None -> None
-        | Some kf ->
-            Machine.restore m kf.kf_machine;
-            Some kf)
+    | Some kfs -> frame_at_or_before kfs ~retired_max:(boundary - 1)
+  in
+  (* A caller-provided scratch machine is only usable when a keyframe is
+     restored into it: [Machine.restore] overwrites every mutable field,
+     so whatever a previous point left behind is irrelevant — and
+     restoring along one keyframe chain into one machine costs only the
+     pages that differ.  The scratch-replay path still needs a pristine
+     [fresh] machine. *)
+  let m =
+    match (frame, machine) with
+    | Some _, Some m -> m
+    | _ -> scenario.fresh ()
+  in
+  let supply = Supply.scripted ~off_cycles () in
+  let resume =
+    match frame with
+    | None -> None
+    | Some kf ->
+        Machine.restore m kf.kf_machine;
+        Some kf
   in
   let budget =
     match resume with
@@ -268,19 +299,27 @@ type skim_cache = {
 let skim_cache () = { sc_mutex = Mutex.create (); sc_tbl = Hashtbl.create 256 }
 
 let skim_reference ?(max_steps = default_max_steps) ?keyframes ?cache
-    ?prefix_digest scenario ~boundary =
-  let m = scenario.fresh () in
+    ?prefix_digest ?machine scenario ~boundary =
   (* A keyframe at exactly [boundary] is usable here: the latched skim
      target is part of the snapshot. *)
-  let start =
+  let frame =
     match keyframes with
+    | None -> None
+    | Some kfs -> frame_at_or_before kfs ~retired_max:boundary
+  in
+  (* Same scratch-machine contract as [run_point]: reusable only when a
+     frame is restored over it. *)
+  let m =
+    match (frame, machine) with
+    | Some _, Some m -> m
+    | _ -> scenario.fresh ()
+  in
+  let start =
+    match frame with
     | None -> 0
-    | Some kfs -> (
-        match frame_at_or_before kfs ~retired_max:boundary with
-        | None -> 0
-        | Some kf ->
-            Machine.restore m kf.kf_machine;
-            kf.kf_retired)
+    | Some kf ->
+        Machine.restore m kf.kf_machine;
+        kf.kf_retired
   in
   for _ = start + 1 to boundary do
     if Machine.halted m then

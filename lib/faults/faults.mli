@@ -77,10 +77,17 @@ type keyframes = {
     [(i + 1) * interval] (boundaries past halt are never captured). *)
 
 val default_keyframe_interval : int
-(** 512 retired instructions per keyframe — the measured sweet spot on
-    the exhaustive MatAdd sweep (see BENCH_inject.json): smaller
-    intervals densify the rejoin-probe candidate lists faster than they
-    shrink the replay windows, larger ones grow the windows. *)
+(** 512 retired instructions per keyframe — the measured sweet spot of
+    the pre-delta full-copy store on the exhaustive MatAdd sweep.  Kept
+    as the reference fixed interval; new callers should prefer
+    {!auto_keyframe_interval}. *)
+
+val auto_keyframe_interval : boundaries:int -> int
+(** Derived keyframe interval for a run with [boundaries] injectable
+    boundaries: [2·sqrt(boundaries)] clamped to [32, 4096].  Delta
+    frames make dense keyframes cheap (O(dirty pages) each), so the
+    interval only has to balance replay-window length against
+    rejoin-probe candidate density. *)
 
 type survey_result = {
   sv_profile : profile;
@@ -94,6 +101,7 @@ val survey :
   ?max_steps:int ->
   ?boundaries:int array ->
   ?keyframe_interval:int ->
+  ?full_frames:bool ->
   scenario ->
   survey_result
 (** ONE streaming pass over the uninterrupted run under the scenario's
@@ -102,6 +110,12 @@ val survey :
     strictly-ascending [boundaries] (all within [1, retired]) and — when
     [keyframe_interval] is given — a keyframe store.  Replaces the
     separate effect, checkpoint-observation and digest passes.
+
+    Keyframes are delta snapshots by default: each frame structurally
+    shares the memory pages unwritten since the previous frame, making
+    the store O(pages dirtied) per frame.  [full_frames] forces
+    isolated full-copy frames (every page copied) — observably
+    identical, only bigger and slower to capture.
 
     Raises [Failure] if the program does not halt within [max_steps]
     (default one billion) instructions, [Invalid_argument] on malformed
@@ -137,6 +151,7 @@ val run_point :
   ?engine:Wn_runtime.Executor.engine ->
   ?off_cycles:int ->
   ?keyframes:keyframes ->
+  ?machine:Wn_machine.Machine.t ->
   scenario ->
   boundary:int ->
   point_result
@@ -160,7 +175,16 @@ val run_point :
     from the continuous run's tail, whose Clank watchdog phase can
     differ from a literal post-outage continuation; for those fields
     treat a keyframed run as its own deterministic quantity (identical
-    across engines and jobs, not across [keyframes] on/off). *)
+    across engines and jobs, not across [keyframes] on/off).
+
+    [machine] is an optional scratch machine (from this scenario's
+    [fresh]) whose entire state the call may clobber.  It is used only
+    when a keyframe is restored into it — the restore overwrites every
+    mutable field, and restoring along one keyframe chain into one
+    long-lived machine touches only the pages that differ, so a caller
+    sweeping many boundaries (one scratch machine per domain) skips the
+    per-point machine construction and full-image copy.  Results are
+    bit-identical with or without it. *)
 
 type skim_cache
 (** Cross-boundary memo for skim-commit tails.  The tail a reference
@@ -181,6 +205,7 @@ val skim_reference :
   ?keyframes:keyframes ->
   ?cache:skim_cache ->
   ?prefix_digest:Digest.t ->
+  ?machine:Wn_machine.Machine.t ->
   scenario ->
   boundary:int ->
   Digest.t option
@@ -193,9 +218,10 @@ val skim_reference :
     being executed; [prefix_digest] (the continuous run's memory digest
     at [boundary], e.g. from {!survey}) saves the cache-key digest
     recomputation and must match the machine's memory at [boundary] if
-    supplied.  Raises [Invalid_argument] if [boundary] lies past the
-    program's halt (the machine would otherwise be stepped while
-    halted). *)
+    supplied.  [machine] is a clobberable scratch machine under the
+    same contract as in {!run_point}.  Raises [Invalid_argument] if
+    [boundary] lies past the program's halt (the machine would
+    otherwise be stepped while halted). *)
 
 val check :
   profile:profile ->

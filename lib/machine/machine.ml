@@ -906,7 +906,14 @@ let step_reference t =
    and shared, so a snapshot is cheap (two array copies plus the memory
    image) and [restore] into any machine built from the same program
    and configuration is bit-exact under both [step_fast] and
-   [step_reference]. *)
+   [step_reference].
+
+   The memory is captured as a [Memory.image].  By default the capture
+   is a delta: pages unwritten since this memory's previous capture are
+   structurally shared with it, so a run that snapshots every K
+   instructions pays O(pages dirtied per interval) per frame instead of
+   O(memory).  [~full:true] forces an isolated copy.  Either way the
+   image is complete and immutable — restore never walks a chain. *)
 type snapshot = {
   s_regs : int array;
   s_pc : int;
@@ -920,7 +927,7 @@ type snapshot = {
   s_wn_retired : int;
   s_cycles : int;
   s_steps_left : int;
-  s_mem : bytes;
+  s_mem : Wn_mem.Memory.image;
   s_mem_reads : int;
   s_mem_writes : int;
   s_memo : Memo.snapshot option;
@@ -937,7 +944,7 @@ type snapshot = {
   s_last_skm : bool;
 }
 
-let snapshot t =
+let snapshot ?(full = false) t =
   let reads, writes = Wn_mem.Memory.read_stats t.mem in
   {
     s_regs = Array.copy t.regs;
@@ -952,7 +959,9 @@ let snapshot t =
     s_wn_retired = t.wn_retired;
     s_cycles = t.cycles;
     s_steps_left = t.steps_left;
-    s_mem = Wn_mem.Memory.snapshot t.mem;
+    s_mem =
+      (if full then Wn_mem.Memory.capture_full t.mem
+       else Wn_mem.Memory.capture t.mem);
     s_mem_reads = reads;
     s_mem_writes = writes;
     s_memo = Option.map Memo.snapshot t.memo_table;
@@ -970,7 +979,10 @@ let snapshot t =
   }
 
 let restore t s =
-  if Array.length t.program <> s.s_program_len || t.zero_skip <> s.s_zero_skip
+  if
+    Array.length t.program <> s.s_program_len
+    || t.zero_skip <> s.s_zero_skip
+    || Wn_mem.Memory.image_size s.s_mem <> Wn_mem.Memory.size t.mem
   then invalid_arg "Machine.restore: configuration mismatch";
   (match (t.memo_table, s.s_memo) with
   | None, None -> ()
@@ -988,7 +1000,7 @@ let restore t s =
   t.wn_retired <- s.s_wn_retired;
   t.cycles <- s.s_cycles;
   t.steps_left <- s.s_steps_left;
-  Wn_mem.Memory.restore t.mem s.s_mem;
+  Wn_mem.Memory.restore_image t.mem s.s_mem;
   Wn_mem.Memory.set_stats t.mem ~reads:s.s_mem_reads ~writes:s.s_mem_writes;
   t.last_pc <- s.s_last_pc;
   t.last_cycles <- s.s_last_cycles;
@@ -1036,7 +1048,7 @@ let matches_state t s =
      | None, None -> true
      | Some table, Some ms -> Memo.state_equal table ms
      | _ -> false)
-  && Wn_mem.Memory.matches t.mem s.s_mem
+  && Wn_mem.Memory.matches_image t.mem s.s_mem
 
 type register_file = { saved_regs : int array; saved_flags : Cond.flags; saved_pc : int }
 

@@ -221,6 +221,12 @@ val step_reference : t -> step_result
     table are immutable and shared, so capture cost is two array copies
     plus the memory image.
 
+    Memory is captured as a [Memory.image]: by default a *delta* that
+    structurally shares pages unwritten since this machine's previous
+    snapshot, making a dense keyframe train O(dirty pages) per frame in
+    time and space; [~full:true] copies every page.  Both forms are
+    complete — restore never consults other snapshots.
+
     [restore] writes a snapshot into a machine built from the same
     program and configuration — the same machine, or a fresh
     {!create}d one — in place, so the target's predecode table (and the
@@ -232,7 +238,9 @@ val step_reference : t -> step_result
 
 type snapshot
 
-val snapshot : t -> snapshot
+val snapshot : ?full:bool -> t -> snapshot
+(** [full] (default [false]) forces an isolated copy of every memory
+    page instead of the page-sharing delta capture. *)
 
 val restore : t -> snapshot -> unit
 (** Raises [Invalid_argument] if the target machine's program length,

@@ -1,18 +1,73 @@
+(* Flat little-endian storage with page-granular dirty tracking.
+
+   The store itself stays one contiguous [Bytes.t] so the hot
+   read/write path is unchanged; alongside it each fixed-size page
+   carries one metadata byte and one cached MD5:
+
+     bit 0 — page written since the last [capture] (delta tracking)
+     bit 1 — cached page hash stale
+
+   Writes set both bits with a single unconditional byte store per
+   touched page (branch-free, allocation-free — the machine's
+   zero-allocation fast path steps through here).  [digest] rehashes
+   only stale pages and combines the per-page hashes; [capture] copies
+   only dirty pages, structurally sharing clean ones with the previous
+   capture, which is what makes dense keyframe stores cheap. *)
+
+let page_shift = 8
+let page_bytes = 1 lsl page_shift
+
+type image = {
+  im_size : int;
+  im_pages : bytes array;
+  im_hashes : string array; (* MD5 per page, same indexing as [im_pages] *)
+}
+
 type t = {
   store : Bytes.t;
   mutable reads : int;
   mutable writes : int;
+  pages : int;
+  flags : Bytes.t; (* one metadata byte per page, bits as above *)
+  hashes : string array; (* valid where bit 1 is clear *)
+  combine : Bytes.t; (* concatenated page hashes, in sync with [hashes] *)
+  mutable last_capture : image option; (* delta baseline for [capture] *)
 }
+
+let dirty = '\003' (* both bits *)
 
 let create ~size =
   if size <= 0 then invalid_arg "Memory.create";
-  { store = Bytes.make size '\000'; reads = 0; writes = 0 }
+  let pages = (size + page_bytes - 1) lsr page_shift in
+  {
+    store = Bytes.make size '\000';
+    reads = 0;
+    writes = 0;
+    pages;
+    flags = Bytes.make pages dirty;
+    hashes = Array.make pages "";
+    combine = Bytes.create (pages * 16);
+    last_capture = None;
+  }
 
 let size t = Bytes.length t.store
 
 let check t addr len name =
   if addr < 0 || addr + len > Bytes.length t.store then
     invalid_arg (Printf.sprintf "Memory.%s: address %d out of bounds" name addr)
+
+(* Mark the pages under [addr .. addr+len-1] dirty.  Bounds were
+   checked by the caller, so the unsafe page-index stores are in
+   range; a multi-byte access spans at most two pages. *)
+let touch t addr last =
+  Bytes.unsafe_set t.flags (addr lsr page_shift) dirty;
+  Bytes.unsafe_set t.flags (last lsr page_shift) dirty
+
+let touch_range t addr len =
+  if len > 0 then
+    for p = addr lsr page_shift to (addr + len - 1) lsr page_shift do
+      Bytes.unsafe_set t.flags p dirty
+    done
 
 let read8 t addr =
   check t addr 1 "read8";
@@ -40,16 +95,19 @@ let read32 t addr =
 let write8 t addr v =
   check t addr 1 "write8";
   t.writes <- t.writes + 1;
+  Bytes.unsafe_set t.flags (addr lsr page_shift) dirty;
   Bytes.set t.store addr (Char.chr (v land 0xFF))
 
 let write16 t addr v =
   check t addr 2 "write16";
   t.writes <- t.writes + 1;
+  touch t addr (addr + 1);
   Bytes.set_uint16_le t.store addr (v land 0xFFFF)
 
 let write32 t addr v =
   check t addr 4 "write32";
   t.writes <- t.writes + 1;
+  touch t addr (addr + 3);
   Bytes.set_uint16_le t.store addr (v land 0xFFFF);
   Bytes.set_uint16_le t.store (addr + 2) ((v lsr 16) land 0xFFFF)
 
@@ -64,21 +122,142 @@ let set_stats t ~reads ~writes =
   t.reads <- reads;
   t.writes <- writes
 
-let snapshot t = Bytes.copy t.store
+(* ------------------------------------------------------------------ *)
+(* Pages, hashes, digests                                             *)
 
-(* [Digest.bytes] hashes the backing store in place — no intermediate
-   copy, unlike [Digest.bytes (snapshot t)]. *)
-let digest t = Digest.bytes t.store
+let page_off p = p lsl page_shift
+let page_len t p = min page_bytes (Bytes.length t.store - page_off p)
+
+(* Rehash page [p] if its cached hash is stale; clears bit 1 only, so
+   delta state (bit 0) survives until the next capture. *)
+let ensure_hash t p =
+  let f = Char.code (Bytes.unsafe_get t.flags p) in
+  if f land 2 <> 0 then begin
+    let h = Digest.subbytes t.store (page_off p) (page_len t p) in
+    t.hashes.(p) <- h;
+    Bytes.blit_string h 0 t.combine (p * 16) 16;
+    Bytes.unsafe_set t.flags p (Char.unsafe_chr (f land 1))
+  end
+
+(* MD5 over the concatenated per-page MD5s.  Only pages written since
+   the previous digest/capture are rehashed, so the per-call cost is
+   O(dirty pages) + O(pages) for the combine, not O(bytes).  Equal
+   contents still imply equal digests (and conversely, modulo MD5
+   collisions), but the hex values differ from a flat MD5 of the
+   store — goldens that print them were re-pinned once. *)
+let digest t =
+  for p = 0 to t.pages - 1 do
+    ensure_hash t p
+  done;
+  Digest.bytes t.combine
+
+(* ------------------------------------------------------------------ *)
+(* Images: capture / restore with structural page sharing             *)
+
+let image_size im = im.im_size
+
+let image_digest im =
+  let b = Bytes.create (Array.length im.im_hashes * 16) in
+  Array.iteri (fun p h -> Bytes.blit_string h 0 b (p * 16) 16) im.im_hashes;
+  Digest.bytes b
+
+(* [share = true] reuses the page bytes of the previous capture for
+   pages not written since then — a delta keyframe: the new image costs
+   O(dirty pages), and a store of many captures keeps one copy of each
+   distinct page.  [share = false] copies every page (a full, isolated
+   image).  Both observably describe the complete contents; images are
+   immutable so sharing is safe.  The baseline is tracked internally
+   ([last_capture]) rather than passed by the caller, so interleaved
+   captures of different memories can never cross their chains. *)
+let capture_gen ~share t =
+  for p = 0 to t.pages - 1 do
+    ensure_hash t p
+  done;
+  let prev = if share then t.last_capture else None in
+  let im_pages =
+    Array.init t.pages (fun p ->
+        match prev with
+        | Some im when Char.code (Bytes.unsafe_get t.flags p) land 1 = 0 ->
+            im.im_pages.(p)
+        | _ -> Bytes.sub t.store (page_off p) (page_len t p))
+  in
+  let im =
+    { im_size = size t; im_pages; im_hashes = Array.copy t.hashes }
+  in
+  Bytes.fill t.flags 0 t.pages '\000';
+  t.last_capture <- Some im;
+  im
+
+let capture t = capture_gen ~share:true t
+let capture_full t = capture_gen ~share:false t
+
+let restore_image t im =
+  if im.im_size <> size t then invalid_arg "Memory.restore: size mismatch";
+  (* O(changed pages) in-place restore: a page whose object is
+     physically shared between the incoming image and the current delta
+     baseline, and which has not been written since that baseline was
+     adopted, already holds the right bytes — skip the blit.  Images
+     from one capture chain share most pages, so restoring a machine
+     back and forth along a keyframe train costs only the pages that
+     actually differ. *)
+  let prev_pages =
+    match t.last_capture with Some prev -> prev.im_pages | None -> [||]
+  in
+  let have_prev = Array.length prev_pages = t.pages in
+  for p = 0 to t.pages - 1 do
+    let pg = im.im_pages.(p) in
+    if
+      not
+        (have_prev
+        && pg == Array.unsafe_get prev_pages p
+        && Char.code (Bytes.unsafe_get t.flags p) land 1 = 0)
+    then begin
+      Bytes.blit pg 0 t.store (page_off p) (Bytes.length pg);
+      let h = im.im_hashes.(p) in
+      t.hashes.(p) <- h;
+      Bytes.blit_string h 0 t.combine (p * 16) 16
+    end
+  done;
+  (* The image's hashes are valid for the restored contents, so a
+     digest right after a restore rehashes nothing; the image also
+     becomes the delta baseline, so the next capture copies only pages
+     the replay actually dirties. *)
+  Bytes.fill t.flags 0 t.pages '\000';
+  t.last_capture <- Some im
+
+(* Page-wise [Bytes.equal] (a C memcmp) beats a per-byte loop by an
+   order of magnitude; the transient [Bytes.sub] per page is minor-heap
+   noise next to the compare itself. *)
+let matches_image t im =
+  im.im_size = size t
+  &&
+  let ok = ref true in
+  let p = ref 0 in
+  while !ok && !p < t.pages do
+    let pg = im.im_pages.(!p) in
+    if not (Bytes.equal pg (Bytes.sub t.store (page_off !p) (Bytes.length pg)))
+    then ok := false;
+    incr p
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Flat snapshot API (kept for callers that want raw bytes)           *)
+
+let snapshot t = Bytes.copy t.store
 
 let matches t image = Bytes.equal t.store image
 
 let restore t snap =
   if Bytes.length snap <> Bytes.length t.store then
     invalid_arg "Memory.restore: size mismatch";
-  Bytes.blit snap 0 t.store 0 (Bytes.length snap)
+  Bytes.blit snap 0 t.store 0 (Bytes.length snap);
+  Bytes.fill t.flags 0 t.pages dirty;
+  t.last_capture <- None
 
 let blit_in t ~addr data =
   check t addr (Bytes.length data) "blit_in";
+  touch_range t addr (Bytes.length data);
   Bytes.blit data 0 t.store addr (Bytes.length data)
 
 let region t ~addr ~len =
@@ -87,6 +266,9 @@ let region t ~addr ~len =
 
 let fill t ~addr ~len v =
   check t addr len "fill";
+  touch_range t addr len;
   Bytes.fill t.store addr len (Char.chr (v land 0xFF))
 
-let clear t = Bytes.fill t.store 0 (Bytes.length t.store) '\000'
+let clear t =
+  Bytes.fill t.store 0 (Bytes.length t.store) '\000';
+  Bytes.fill t.flags 0 t.pages dirty

@@ -6,9 +6,20 @@
     (FRAM) but lose registers, while non-volatile processors keep
     everything.  This module is plain storage; volatility policy lives in
     [wn.runtime].  Reads and writes are counted for the evaluation's
-    instruction-mix statistics. *)
+    instruction-mix statistics.
+
+    Storage is one flat byte array, but the module additionally tracks
+    writes at page granularity ({!page_bytes} bytes per page) with a
+    cached MD5 per page.  That makes {!digest} cost proportional to the
+    pages written since the previous digest, and {!capture} cost
+    proportional to the pages written since the previous capture — the
+    foundation for incremental boundary digests and delta keyframes in
+    the fault-injection engine. *)
 
 type t
+
+val page_bytes : int
+(** Dirty-tracking granularity in bytes (a power of two). *)
 
 val create : size:int -> t
 (** Zero-initialised memory of [size] bytes. *)
@@ -37,20 +48,58 @@ val set_stats : t -> reads:int -> writes:int -> unit
     restored machine must report the counters it had at capture).
     Raises [Invalid_argument] on negative counts. *)
 
-val snapshot : t -> bytes
-(** A copy of the full contents (checkpoint support). *)
-
 val digest : t -> Digest.t
-(** MD5 of the full contents, hashing the backing store in place —
-    equal to [Digest.bytes (snapshot t)] without the intermediate
-    copy. *)
+(** Content digest: MD5 over the concatenation of per-page MD5s.
+    Memories of equal size have equal digests iff their contents are
+    equal (modulo MD5 collisions, as before).  Cost is O(pages written
+    since the last digest or capture) plus a hash of the small combine
+    buffer — not O(size).  Note the hex value differs from a flat MD5
+    of the contents. *)
+
+(** {1 Images: O(dirty) capture and restore}
+
+    An {!image} is an immutable copy of the full contents, stored
+    page-wise.  {!capture} shares clean pages with the memory's
+    previous capture (a delta keyframe), so a sequence of captures
+    costs O(pages written between them) in both time and space while
+    each image still describes the complete state — restoring never
+    needs to walk a chain. *)
+
+type image
+
+val capture : t -> image
+(** Capture the contents, sharing pages unwritten since the previous
+    {!capture}/{!capture_full}/{!restore_image} of this memory.  Clears
+    the dirty tracking. *)
+
+val capture_full : t -> image
+(** Like {!capture} but every page is copied — an isolated image with
+    no structural sharing. *)
+
+val restore_image : t -> image -> unit
+(** Overwrite contents from an image of equal size (raises
+    [Invalid_argument] otherwise).  Adopts the image's page hashes, so
+    an immediately following {!digest} rehashes nothing, and makes the
+    image the new delta baseline for {!capture}. *)
+
+val matches_image : t -> image -> bool
+(** True iff the current contents equal the image, compared in place. *)
+
+val image_size : image -> int
+
+val image_digest : image -> Digest.t
+(** Digest of an image's contents; agrees with {!digest} of a memory
+    holding the same bytes. *)
+
+val snapshot : t -> bytes
+(** A copy of the full contents as raw bytes (flat snapshot). *)
 
 val matches : t -> bytes -> bool
 (** [matches t image] is true iff the current contents equal [image]
     (a {!snapshot}), compared in place without copying. *)
 
 val restore : t -> bytes -> unit
-(** Overwrite contents from a snapshot of equal size. *)
+(** Overwrite contents from a flat snapshot of equal size. *)
 
 val blit_in : t -> addr:int -> bytes -> unit
 (** Load raw bytes at [addr] (program data segment initialisation). *)

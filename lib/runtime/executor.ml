@@ -55,12 +55,16 @@ type snapshot_hook = active_cycles:int -> wall_cycles:int -> unit
 
 (* Clank epoch state: the last checkpoint plus the read-first/write
    sets used to detect idempotency (write-after-read) violations at
-   word granularity.  The sets live in a [shadow] bitmap over data
-   memory — two bits per word (bit 0: read first this epoch, bit 1:
-   fully written this epoch), four words per byte — so membership tests
-   and inserts are array indexing instead of hashing.  [tracked] counts
-   set bits across both planes (a word in both planes counts twice),
-   mirroring the hardware's two tracking buffers filling independently.
+   word granularity.  The sets live in a [shadow] map over data memory
+   — one int per word holding [(epoch lsl 2) lor bits] (bit 0: read
+   first this epoch, bit 1: fully written this epoch) — so membership
+   tests and inserts are array indexing instead of hashing, and
+   clearing the sets at a checkpoint is an epoch increment: entries
+   stamped with an older epoch simply read as empty.  That keeps the
+   checkpoint commit O(1) instead of O(shadow) on the hot path.
+   [tracked] counts set bits across both planes (a word in both planes
+   counts twice), mirroring the hardware's two tracking buffers filling
+   independently.
 
    The written plane only holds words *fully* overwritten this epoch: a
    partial (byte/halfword) store must not suppress read tracking of its
@@ -68,7 +72,8 @@ type snapshot_hook = active_cycles:int -> wall_cycles:int -> unit
    and re-execution would read the new value. *)
 type clank_state = {
   mutable checkpoint : Machine.register_file;
-  shadow : Bytes.t;
+  shadow : int array;
+  mutable epoch : int;
   mutable tracked : int;
   mutable since_ckpt_cycles : int;
   mutable since_ckpt_retired : int;
@@ -78,16 +83,37 @@ let read_bit = 1
 let write_bit = 2
 
 let shadow_bits st w =
-  Char.code (Bytes.unsafe_get st.shadow (w lsr 2)) lsr ((w land 3) * 2) land 3
+  let v = Array.unsafe_get st.shadow w in
+  if v lsr 2 = st.epoch then v land 3 else 0
 
 let shadow_set st w bit =
-  let i = w lsr 2 in
-  Bytes.unsafe_set st.shadow i
-    (Char.unsafe_chr (Char.code (Bytes.unsafe_get st.shadow i) lor (bit lsl ((w land 3) * 2))))
+  Array.unsafe_set st.shadow w ((st.epoch lsl 2) lor shadow_bits st w lor bit)
 
 let shadow_clear st =
-  Bytes.fill st.shadow 0 (Bytes.length st.shadow) '\000';
+  st.epoch <- st.epoch + 1;
   st.tracked <- 0
+
+(* Resume states carry the shadow sets in the dense 2-bits-per-word
+   packed form (four words per byte), normalised to drop the epoch
+   stamps: keyframe stores hold many resume states, and the packed
+   form is 1/32nd the live array's size. *)
+let pack_shadow st =
+  let words = Array.length st.shadow in
+  let b = Bytes.make ((words + 3) / 4) '\000' in
+  for w = 0 to words - 1 do
+    let bits = shadow_bits st w in
+    if bits <> 0 then
+      let i = w lsr 2 in
+      Bytes.unsafe_set b i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get b i) lor (bits lsl ((w land 3) * 2))))
+  done;
+  b
+
+(* Bare bits carry epoch stamp 0, matching the fresh state's epoch. *)
+let unpack_shadow packed words =
+  Array.init words (fun w ->
+      Char.code (Bytes.unsafe_get packed (w lsr 2)) lsr ((w land 3) * 2) land 3)
 
 let word_of_addr addr = addr lsr 2
 
@@ -130,14 +156,14 @@ let build_store_table program =
 
 (* Mid-run resume state: the loop counters plus the Clank policy state,
    captured at a clean instruction boundary of an uninterrupted run.
-   Everything inside is immutable once captured (the shadow bitmap is
-   copied at capture and again at resume; the checkpoint register file
-   is replaced wholesale on checkpoint, never mutated), so one
-   [resume_state] can seed any number of [run] calls from any number of
-   domains. *)
+   Everything inside is immutable once captured (the shadow map is
+   packed at capture and unpacked into a fresh array at resume; the
+   checkpoint register file is replaced wholesale on checkpoint, never
+   mutated), so one [resume_state] can seed any number of [run] calls
+   from any number of domains. *)
 type clank_resume = {
   rc_checkpoint : Machine.register_file;
-  rc_shadow : Bytes.t;
+  rc_shadow : Bytes.t; (* packed 2 bits/word, epoch-normalised *)
   rc_tracked : int;
   rc_since_cycles : int;
   rc_since_retired : int;
@@ -257,15 +283,15 @@ let run ?(policy = Always_on) ?(engine = Fast)
     match policy with
     | Clank cfg ->
         let words = (Wn_mem.Memory.size (Machine.mem machine) + 3) / 4 in
-        let shadow_len = (words + 3) / 4 in
         let st =
           match resume with
           | Some { rs_clank = Some rc; _ } ->
-              if Bytes.length rc.rc_shadow <> shadow_len then
+              if Bytes.length rc.rc_shadow <> (words + 3) / 4 then
                 invalid_arg "Executor.run: resume shadow map size mismatch";
               {
                 checkpoint = rc.rc_checkpoint;
-                shadow = Bytes.copy rc.rc_shadow;
+                shadow = unpack_shadow rc.rc_shadow words;
+                epoch = 0;
                 tracked = rc.rc_tracked;
                 since_ckpt_cycles = rc.rc_since_cycles;
                 since_ckpt_retired = rc.rc_since_retired;
@@ -275,7 +301,8 @@ let run ?(policy = Always_on) ?(engine = Fast)
           | None ->
               {
                 checkpoint = Machine.capture_registers machine;
-                shadow = Bytes.make shadow_len '\000';
+                shadow = Array.make words 0;
+                epoch = 0;
                 tracked = 0;
                 since_ckpt_cycles = 0;
                 since_ckpt_retired = 0;
@@ -296,7 +323,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
           (fun (_cfg, st) ->
             {
               rc_checkpoint = st.checkpoint;
-              rc_shadow = Bytes.copy st.shadow;
+              rc_shadow = pack_shadow st;
               rc_tracked = st.tracked;
               rc_since_cycles = st.since_ckpt_cycles;
               rc_since_retired = st.since_ckpt_retired;
@@ -315,7 +342,7 @@ let run ?(policy = Always_on) ?(engine = Fast)
     }
   in
   let stores = build_store_table (Machine.program machine) in
-  let shadow_words st = Bytes.length st.shadow * 4 in
+  let shadow_words st = Array.length st.shadow in
   let do_checkpoint cfg st =
     spend_overhead cfg.checkpoint_cycles;
     st.checkpoint <- Machine.capture_registers machine;

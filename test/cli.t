@@ -101,6 +101,17 @@ byte-identical under all three engines and any --jobs width:
   $ wn inject MatAdd --points 5 --system clank --jobs 1 --engine compat > sweep-compat.out
   $ cmp sweep-block.out sweep-fast.out && cmp sweep-block.out sweep-compat.out
 
+So is the keyframe configuration: the auto-derived interval (the
+default), an explicit --keyframe-interval override, keyframes off, and
+full-copy frames all replay to the same report:
+
+  $ wn inject MatAdd --points 5 --system clank > sweep-auto.out
+  $ wn inject MatAdd --points 5 --system clank --keyframe-interval 0 > sweep-kf0.out
+  $ wn inject MatAdd --points 5 --system clank --keyframe-interval 97 > sweep-kf97.out
+  $ wn inject MatAdd --points 5 --system clank --full-keyframes > sweep-full.out
+  $ cmp sweep-auto.out sweep-kf0.out && cmp sweep-auto.out sweep-kf97.out
+  $ cmp sweep-auto.out sweep-full.out
+
 The fleet service validates its descriptor before simulating, and an
 unknown benchmark gets the same one-line diagnostic as `wn run`:
 

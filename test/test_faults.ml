@@ -363,18 +363,33 @@ let test_sampled_matadd_sweep () =
 let test_sweep_keyframes_identical () =
   let w = Wn_workloads.Suite.find Wn_workloads.Workload.Small "MatAdd" in
   let base = { Inject.default_config with keyframe_interval = 0 } in
-  let keyed = { base with Inject.keyframe_interval = 512 } in
   let off = Inject.sweep ~jobs:2 ~mode:(Inject.Sampled 40) ~config:base w in
-  let on = Inject.sweep ~jobs:2 ~mode:(Inject.Sampled 40) ~config:keyed w in
   let render rep = Format.asprintf "%a" Inject.pp rep in
-  Alcotest.(check string) "rendered reports identical" (render off) (render on);
-  if off <> { on with Inject.config = base } then
-    Alcotest.fail "keyframed sweep record diverged";
-  Alcotest.check_raises "negative interval" (Invalid_argument "Inject.sweep")
-    (fun () ->
+  (* Fixed interval, auto interval (the default), and full-copy frames
+     are all pure replay-cost knobs: same report, byte for byte. *)
+  List.iter
+    (fun (label, config) ->
+      let on = Inject.sweep ~jobs:2 ~mode:(Inject.Sampled 40) ~config w in
+      Alcotest.(check string)
+        (label ^ " rendered report identical")
+        (render off) (render on);
+      if off <> { on with Inject.config = base } then
+        Alcotest.failf "%s sweep record diverged" label)
+    [
+      ("k=512", { base with Inject.keyframe_interval = 512 });
+      ("auto", { base with Inject.keyframe_interval = Inject.auto_keyframe_interval });
+      ( "full frames",
+        {
+          base with
+          Inject.keyframe_interval = 512;
+          Inject.delta_frames = false;
+        } );
+    ];
+  Alcotest.check_raises "interval below the auto sentinel"
+    (Invalid_argument "Inject.sweep") (fun () ->
       ignore
         (Inject.sweep ~jobs:1 ~mode:(Inject.Sampled 4)
-           ~config:{ base with Inject.keyframe_interval = -1 }
+           ~config:{ base with Inject.keyframe_interval = -2 }
            w))
 
 let test_sampler_determinism () =

@@ -46,11 +46,18 @@ let test_snapshot_restore () =
       Memory.restore m (Bytes.create 4))
 
 let test_digest () =
+  (* The digest is a combine of per-page hashes, so its hex is not the
+     flat MD5 of the contents; the contract is equal contents ⇔ equal
+     digest, across memories and write histories. *)
   let m = Memory.create ~size:64 in
   Memory.write32 m 0 0xDEADBEEF;
   Memory.write16 m 40 0x1234;
-  Alcotest.(check string) "digest = digest of the snapshot image"
-    (Digest.to_hex (Digest.bytes (Memory.snapshot m)))
+  let twin = Memory.create ~size:64 in
+  Memory.write16 m 40 0x1234;
+  Memory.write16 twin 40 0x1234;
+  Memory.write32 twin 0 0xDEADBEEF;
+  Alcotest.(check string) "equal contents, equal digest"
+    (Digest.to_hex (Memory.digest twin))
     (Digest.to_hex (Memory.digest m));
   let before = Memory.digest m in
   Memory.write8 m 63 1;
@@ -58,7 +65,40 @@ let test_digest () =
     Alcotest.fail "digest must see every byte of the store";
   (* Reading the digest must not copy-on-write or otherwise detach the
      backing store. *)
-  Alcotest.(check int) "store still live" 0xDEADBEEF (Memory.read32 m 0)
+  Alcotest.(check int) "store still live" 0xDEADBEEF (Memory.read32 m 0);
+  (* Multi-page memory: a write in the last, short page changes it. *)
+  let big = Memory.create ~size:(Memory.page_bytes * 3 + 5) in
+  let d0 = Memory.digest big in
+  Memory.write8 big ((Memory.page_bytes * 3) + 4) 7;
+  if Digest.equal d0 (Memory.digest big) then
+    Alcotest.fail "digest must see the trailing partial page"
+
+let test_capture_restore () =
+  let size = (Memory.page_bytes * 2) + 17 in
+  let m = Memory.create ~size in
+  Memory.write32 m 0 42;
+  Memory.write8 m (size - 1) 9;
+  let base = Memory.capture m in
+  Alcotest.(check int) "image size" size (Memory.image_size base);
+  Memory.write32 m 0 99;
+  let delta = Memory.capture m in
+  Memory.write32 m Memory.page_bytes 1234;
+  Memory.restore_image m base;
+  Alcotest.(check int) "base restored" 42 (Memory.read32 m 0);
+  Alcotest.(check int) "last byte" 9 (Memory.read8 m (size - 1));
+  Alcotest.(check bool) "matches base" true (Memory.matches_image m base);
+  Alcotest.(check bool) "not delta" false (Memory.matches_image m delta);
+  Alcotest.(check string) "image digest agrees with memory digest"
+    (Digest.to_hex (Memory.digest m))
+    (Digest.to_hex (Memory.image_digest base));
+  Memory.restore_image m delta;
+  Alcotest.(check int) "delta restored" 99 (Memory.read32 m 0);
+  Alcotest.(check int) "untouched page survives" 0
+    (Memory.read32 m Memory.page_bytes);
+  let other = Memory.create ~size:Memory.page_bytes in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Memory.restore: size mismatch") (fun () ->
+      Memory.restore_image other base)
 
 let test_stats () =
   let m = Memory.create ~size:32 in
@@ -88,6 +128,136 @@ let prop_rw_roundtrip =
       Memory.write32 m addr v;
       Memory.read32 m addr = v)
 
+(* ---- paged memory vs a flat-Bytes reference model ----
+   The dirty-page machinery must be invisible: any write sequence,
+   interleaved with digests and captures (which mutate the tracking
+   state), leaves the same contents as plain byte stores, the
+   incremental digest equals a from-scratch digest, and delta captures
+   round-trip bit-identically to full ones. *)
+
+type op =
+  | W8 of int * int
+  | W16 of int * int
+  | W32 of int * int
+  | Blit of int * string
+  | Fill of int * int * int
+
+(* Three pages plus a short tail page — exercises page straddles and
+   the partial final page. *)
+let model_size = (3 * Memory.page_bytes) + 29
+
+let gen_op =
+  let open QCheck.Gen in
+  frequency
+    [
+      (3, map2 (fun a v -> W8 (a, v)) (int_bound (model_size - 1)) (int_bound 0xFF));
+      (3, map2 (fun a v -> W16 (a, v)) (int_bound (model_size - 2)) (int_bound 0xFFFF));
+      ( 3,
+        map2
+          (fun a v -> W32 (a, v))
+          (int_bound (model_size - 4))
+          (int_bound 0xFFFFFFFF) );
+      ( 1,
+        map2
+          (fun a s -> Blit (a, s))
+          (int_bound (model_size - 300))
+          (string_size ~gen:char (1 -- 300)) );
+      ( 1,
+        map3
+          (fun a l v -> Fill (a, l, v))
+          (int_bound (model_size - 300))
+          (int_bound 300) (int_bound 0xFF) );
+    ]
+
+let print_op = function
+  | W8 (a, v) -> Printf.sprintf "W8(%d,%#x)" a v
+  | W16 (a, v) -> Printf.sprintf "W16(%d,%#x)" a v
+  | W32 (a, v) -> Printf.sprintf "W32(%d,%#x)" a v
+  | Blit (a, s) -> Printf.sprintf "Blit(%d,%d bytes)" a (String.length s)
+  | Fill (a, l, v) -> Printf.sprintf "Fill(%d,%d,%#x)" a l v
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck.Gen.(list_size (int_bound 60) gen_op)
+
+let apply_mem m = function
+  | W8 (a, v) -> Memory.write8 m a v
+  | W16 (a, v) -> Memory.write16 m a v
+  | W32 (a, v) -> Memory.write32 m a v
+  | Blit (a, s) -> Memory.blit_in m ~addr:a (Bytes.of_string s)
+  | Fill (a, l, v) -> Memory.fill m ~addr:a ~len:l v
+
+let apply_ref b = function
+  | W8 (a, v) -> Bytes.set b a (Char.chr (v land 0xFF))
+  | W16 (a, v) -> Bytes.set_uint16_le b a (v land 0xFFFF)
+  | W32 (a, v) ->
+      Bytes.set_uint16_le b a (v land 0xFFFF);
+      Bytes.set_uint16_le b (a + 2) ((v lsr 16) land 0xFFFF)
+  | Blit (a, s) -> Bytes.blit_string s 0 b a (String.length s)
+  | Fill (a, l, v) -> Bytes.fill b a l (Char.chr (v land 0xFF))
+
+let digest_of_contents b =
+  let fresh = Memory.create ~size:(Bytes.length b) in
+  Memory.blit_in fresh ~addr:0 b;
+  Memory.digest fresh
+
+let prop_model_equiv =
+  QCheck.Test.make ~count:200 ~name:"paged ops == flat reference model" arb_ops
+    (fun ops ->
+      let m = Memory.create ~size:model_size in
+      let b = Bytes.make model_size '\000' in
+      List.iter
+        (fun op ->
+          apply_mem m op;
+          apply_ref b op)
+        ops;
+      Bytes.equal (Memory.region m ~addr:0 ~len:model_size) b
+      && Memory.matches m b)
+
+let prop_incremental_digest =
+  QCheck.Test.make ~count:200
+    ~name:"incremental digest == from-scratch digest" arb_ops (fun ops ->
+      let m = Memory.create ~size:model_size in
+      let b = Bytes.make model_size '\000' in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          apply_mem m op;
+          apply_ref b op;
+          (* Captures interleave with digests: both consume the dirty
+             bits, through different paths. *)
+          if i mod 7 = 3 then ignore (Memory.capture m);
+          if i mod 5 = 2 && not (Digest.equal (Memory.digest m) (digest_of_contents b))
+          then ok := false)
+        ops;
+      !ok && Digest.equal (Memory.digest m) (digest_of_contents b))
+
+let prop_delta_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"delta capture/restore == full capture at random points" arb_ops
+    (fun ops ->
+      let m = Memory.create ~size:model_size in
+      let b = Bytes.make model_size '\000' in
+      let recorded = ref [] in
+      List.iteri
+        (fun i op ->
+          apply_mem m op;
+          apply_ref b op;
+          if i mod 6 = 5 then
+            recorded :=
+              (Memory.capture m, Memory.capture_full m, Bytes.copy b)
+              :: !recorded)
+        ops;
+      List.for_all
+        (fun (delta, full, contents) ->
+          Memory.restore_image m delta;
+          Memory.matches m contents
+          && Memory.matches_image m full
+          && Digest.equal (Memory.image_digest delta) (Memory.image_digest full)
+          && Digest.equal (Memory.digest m) (digest_of_contents contents))
+        !recorded)
+
 let () =
   Alcotest.run "wn.mem"
     [
@@ -98,8 +268,12 @@ let () =
           Alcotest.test_case "bounds" `Quick test_bounds;
           Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
           Alcotest.test_case "digest" `Quick test_digest;
+          Alcotest.test_case "capture/restore images" `Quick test_capture_restore;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "region/blit/fill" `Quick test_region_blit_fill;
           QCheck_alcotest.to_alcotest prop_rw_roundtrip;
+          QCheck_alcotest.to_alcotest prop_model_equiv;
+          QCheck_alcotest.to_alcotest prop_incremental_digest;
+          QCheck_alcotest.to_alcotest prop_delta_roundtrip;
         ] );
     ]

@@ -118,6 +118,70 @@ let test_clank_war_checkpoint () =
   Alcotest.(check int) "exactly one violation checkpoint" 1
     o.Executor.checkpoint_count
 
+let test_clank_war_epochs () =
+  (* Alternating read-modify-writes of two words: each iteration reads
+     a word whose tracking was cleared by the previous iteration's
+     checkpoint, so every iteration is a fresh WAR violation — one
+     checkpoint per iteration, across as many shadow epochs.  A stale
+     epoch leaking old read/write bits into a new epoch would change
+     this count (old write bits suppress read tracking; old read bits
+     fire spurious checkpoints). *)
+  let n = 8 in
+  let rmw i =
+    let off = if i land 1 = 0 then 0 else 4 in
+    [
+      Asm.I (Instr.Ldr { width = Instr.Word; signed = false; rd = r 2; base = r 1; off });
+      Asm.I (Instr.Alu_imm (Instr.Add, r 2, r 2, 1));
+      Asm.I (Instr.Str { width = Instr.Word; rs = r 2; base = r 1; off });
+    ]
+  in
+  let program =
+    Asm.assemble_exn
+      ([ Asm.I (Instr.Mov_imm (r 1, 0)) ]
+      @ List.concat (List.init n rmw)
+      @ [ Asm.I Instr.Halt ])
+  in
+  let run engine =
+    let machine, mem = fresh ~program () in
+    let o =
+      Executor.run ~engine
+        ~policy:(Executor.Clank Executor.default_clank)
+        ~machine ~supply:(Supply.always_on ()) ()
+    in
+    (o, Wn_mem.Memory.read32 mem 0, Wn_mem.Memory.read32 mem 4)
+  in
+  List.iter
+    (fun engine ->
+      let o, at0, at4 = run engine in
+      Alcotest.(check bool) "completed" true o.Executor.completed;
+      Alcotest.(check int) "one checkpoint per epoch" n
+        o.Executor.checkpoint_count;
+      Alcotest.(check int) "word 0" (n / 2) at0;
+      Alcotest.(check int) "word 4" (n / 2) at4)
+    [ Executor.Fast; Executor.Block; Executor.Compat ]
+
+let test_clank_engines_lockstep () =
+  (* The loop program under a bursty supply: outage rollbacks, watchdog
+     checkpoints and shadow epochs must agree across all three stepping
+     engines. *)
+  let program = loop_program ~iters:2000 ~muls:4 () in
+  let run engine =
+    let machine, mem = fresh ~program () in
+    let cfg = { Executor.default_clank with watchdog_period = 1000 } in
+    let o = Executor.run ~engine ~policy:(Executor.Clank cfg) ~machine ~supply:(bursty_supply ()) () in
+    ( o.Executor.completed,
+      o.Executor.checkpoint_count,
+      o.Executor.reexecuted_instructions,
+      o.Executor.outage_count,
+      Wn_mem.Memory.read32 mem 0 )
+  in
+  let reference = run Executor.Fast in
+  List.iter
+    (fun engine ->
+      if run engine <> reference then
+        Alcotest.fail "engines disagree under Clank with outages")
+    [ Executor.Block; Executor.Compat ]
+
 (* A skim-able program: sets r0=1 (coarse result), stores it, latches a
    skim point, then does a long refinement phase before storing 2. *)
 let skim_program refinement_iters =
@@ -226,6 +290,8 @@ let () =
             test_clank_restores_and_reexecutes;
           Alcotest.test_case "watchdog" `Quick test_clank_watchdog;
           Alcotest.test_case "WAR checkpoint" `Quick test_clank_war_checkpoint;
+          Alcotest.test_case "WAR across epochs" `Quick test_clank_war_epochs;
+          Alcotest.test_case "engines lockstep" `Quick test_clank_engines_lockstep;
           Alcotest.test_case "skim on outage" `Quick test_skim_on_outage_clank;
         ] );
       ( "skim",

@@ -108,6 +108,51 @@ let test_roundtrip_suite () =
   let suite = Wn_workloads.Suite.all Workload.Small in
   List.iter (fun e -> List.iter (roundtrip_workload e) suite) engines
 
+(* Delta snapshots (the default) structurally share memory pages with
+   the machine's previous snapshot; full snapshots copy every page.
+   Both must restore to bit-identical machines at every point of a
+   chain of captures taken at pseudo-random distances. *)
+let test_delta_vs_full_chain () =
+  let w = Wn_workloads.Suite.find Workload.Small "MatAdd" in
+  let fresh = fresh_machine w in
+  let m = fresh () in
+  let rng = Rng.create 23 in
+  let chain = ref [] in
+  (* A chain of interleaved delta/full captures at random strides; the
+     full capture second so the delta's baseline chain is not broken by
+     it being taken first. *)
+  for _ = 1 to 12 do
+    let n = 1 + Rng.int rng 700 in
+    (try
+       for _ = 1 to n do
+         if Machine.halted m then raise Exit;
+         Machine.step_fast m
+       done
+     with Exit -> ());
+    let delta = Machine.snapshot m in
+    let full = Machine.snapshot ~full:true m in
+    chain := (delta, full, observe m) :: !chain
+  done;
+  List.iteri
+    (fun i (delta, full, expected) ->
+      let md = fresh () in
+      Machine.restore md delta;
+      if observe md <> expected then
+        Alcotest.failf "delta restore %d not bit-exact" i;
+      if not (Machine.matches_state md full) then
+        Alcotest.failf "delta restore %d does not match the full snapshot" i;
+      let mf = fresh () in
+      Machine.restore mf full;
+      if observe mf <> expected then
+        Alcotest.failf "full restore %d not bit-exact" i;
+      (* Restore the same machine across chain entries out of order:
+         in-place restores must not depend on capture order. *)
+      Machine.restore md full;
+      Machine.restore md delta;
+      if observe md <> expected then
+        Alcotest.failf "re-restore %d not bit-exact" i)
+    !chain
+
 (* The step budget is part of the simulation state: a snapshot taken
    mid-budget must restore the remaining allowance exactly. *)
 let test_budget_roundtrip () =
@@ -146,6 +191,8 @@ let () =
         [
           Alcotest.test_case "suite round-trips (both engines)" `Quick
             test_roundtrip_suite;
+          Alcotest.test_case "delta vs full snapshot chain" `Quick
+            test_delta_vs_full_chain;
           Alcotest.test_case "step-budget round-trip" `Quick
             test_budget_roundtrip;
           Alcotest.test_case "configuration mismatch" `Quick
